@@ -1,0 +1,60 @@
+//! Criterion benches for the §7 extension ablations: THP, soft memory,
+//! temporal segregation and hybrid scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_thp(c: &mut Criterion) {
+    use squeezy_bench::thp::{render, run, ThpConfig};
+    println!("{}", render(&run(&ThpConfig::quick())));
+    let mut group = c.benchmark_group("ablation_thp");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| run(&ThpConfig::quick())));
+    group.finish();
+}
+
+fn bench_soft(c: &mut Criterion) {
+    use squeezy_bench::soft::{render, run};
+    println!("{}", render(&run()));
+    let mut group = c.benchmark_group("ablation_soft_memory");
+    group.sample_size(10);
+    group.bench_function("grid", |b| b.iter(run));
+    group.finish();
+}
+
+fn bench_temporal(c: &mut Criterion) {
+    use squeezy_bench::temporal::{render, run};
+    println!("{}", render(&run()));
+    let mut group = c.benchmark_group("ablation_temporal");
+    group.sample_size(10);
+    group.bench_function("grid", |b| b.iter(run));
+    group.finish();
+}
+
+fn bench_hybrid(c: &mut Criterion) {
+    use squeezy_bench::hybrid::{render, run, HybridConfig};
+    let cfg = HybridConfig::quick();
+    println!("{}", render(&cfg, &run(&cfg)));
+    let mut group = c.benchmark_group("ablation_hybrid_scaling");
+    group.sample_size(10);
+    group.bench_function("quick_sweep", |b| b.iter(|| run(&cfg)));
+    group.finish();
+}
+
+fn bench_fpr(c: &mut Criterion) {
+    use squeezy_bench::fpr::{render, run, FprConfig};
+    println!("{}", render(&run(&FprConfig::quick())));
+    let mut group = c.benchmark_group("ablation_free_page_reporting");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| run(&FprConfig::quick())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thp,
+    bench_soft,
+    bench_temporal,
+    bench_hybrid,
+    bench_fpr
+);
+criterion_main!(benches);

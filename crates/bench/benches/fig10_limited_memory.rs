@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 10: end-to-end under restricted memory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squeezy_bench::fig10::{render, run, Fig10Config};
+
+fn bench_limited(c: &mut Criterion) {
+    println!("{}", render(&run(&Fig10Config::quick())));
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("quick_all_backends", |b| {
+        b.iter(|| run(&Fig10Config::quick()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_limited);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for Figure 6: unplug latency vs memory utilization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squeezy_bench::fig6::{render, run, Fig6Config};
+
+fn bench_sensitivity(c: &mut Criterion) {
+    println!("{}", render(&run(&Fig6Config::quick())));
+    let mut group = c.benchmark_group("fig6_sweep");
+    group.sample_size(10);
+    group.bench_function("quick_sweep", |b| b.iter(|| run(&Fig6Config::quick())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

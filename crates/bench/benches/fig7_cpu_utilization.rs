@@ -1,0 +1,15 @@
+//! Criterion bench for Figure 7: reclaim kernel-thread CPU utilization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squeezy_bench::fig7::{render, run, Fig7Config};
+
+fn bench_cpu_util(c: &mut Criterion) {
+    println!("{}", render(&run(&Fig7Config::quick())));
+    let mut group = c.benchmark_group("fig7_series");
+    group.sample_size(10);
+    group.bench_function("quick_series", |b| b.iter(|| run(&Fig7Config::quick())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_util);
+criterion_main!(benches);

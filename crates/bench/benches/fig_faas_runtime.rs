@@ -1,0 +1,27 @@
+//! Criterion bench covering the FaaS-runtime figures: the motivation
+//! timeline (Fig. 1), churn analysis (Fig. 2), reclamation throughput
+//! (Fig. 8) and the co-location interference series (Fig. 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squeezy_bench::{fig1, fig2, fig8, fig9};
+
+fn bench_faas(c: &mut Criterion) {
+    println!("{}", fig1::render(&fig1::run(&fig1::Fig1Config::quick())));
+    println!("{}", fig2::render(&fig2::run(&fig2::Fig2Config::quick())));
+    println!("{}", fig8::render(&fig8::run(&fig8::Fig8Config::quick())));
+    let cfg9 = fig9::Fig9Config::quick();
+    println!("{}", fig9::render(&fig9::run(&cfg9), &cfg9));
+
+    let mut group = c.benchmark_group("faas_runtime");
+    group.sample_size(10);
+    group.bench_function("fig2_churn", |b| {
+        b.iter(|| fig2::run(&fig2::Fig2Config::quick()))
+    });
+    group.bench_function("fig1_timeline", |b| {
+        b.iter(|| fig1::run(&fig1::Fig1Config::quick()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faas);
+criterion_main!(benches);

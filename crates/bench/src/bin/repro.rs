@@ -1,0 +1,140 @@
+//! Regenerates every table and figure of the paper as text output.
+//!
+//! Usage: `repro [all|table1|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|thp] [--quick]`
+
+use squeezy_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let all = what == "all";
+
+    let t0 = std::time::Instant::now();
+    if all || what == "table1" {
+        section("Table 1");
+        println!("{}", bench::table1::render());
+    }
+    if all || what == "fig1" {
+        section("Figure 1");
+        let cfg = if quick {
+            bench::fig1::Fig1Config::quick()
+        } else {
+            bench::fig1::Fig1Config::paper()
+        };
+        println!("{}", bench::fig1::render(&bench::fig1::run(&cfg)));
+    }
+    if all || what == "fig2" {
+        section("Figure 2");
+        let cfg = if quick {
+            bench::fig2::Fig2Config::quick()
+        } else {
+            bench::fig2::Fig2Config::paper()
+        };
+        println!("{}", bench::fig2::render(&bench::fig2::run(&cfg)));
+    }
+    if all || what == "fig5" {
+        section("Figure 5");
+        let cfg = if quick {
+            bench::fig5::Fig5Config::quick()
+        } else {
+            bench::fig5::Fig5Config::paper()
+        };
+        println!("{}", bench::fig5::render(&bench::fig5::run(&cfg)));
+    }
+    if all || what == "fig6" {
+        section("Figure 6");
+        let cfg = if quick {
+            bench::fig6::Fig6Config::quick()
+        } else {
+            bench::fig6::Fig6Config::paper()
+        };
+        println!("{}", bench::fig6::render(&bench::fig6::run(&cfg)));
+    }
+    if all || what == "fig7" {
+        section("Figure 7");
+        let cfg = if quick {
+            bench::fig7::Fig7Config::quick()
+        } else {
+            bench::fig7::Fig7Config::paper()
+        };
+        println!("{}", bench::fig7::render(&bench::fig7::run(&cfg)));
+    }
+    if all || what == "fig8" {
+        section("Figure 8");
+        let cfg = if quick {
+            bench::fig8::Fig8Config::quick()
+        } else {
+            bench::fig8::Fig8Config::paper()
+        };
+        println!("{}", bench::fig8::render(&bench::fig8::run(&cfg)));
+    }
+    if all || what == "fig9" {
+        section("Figure 9");
+        let cfg = if quick {
+            bench::fig9::Fig9Config::quick()
+        } else {
+            bench::fig9::Fig9Config::paper()
+        };
+        println!("{}", bench::fig9::render(&bench::fig9::run(&cfg), &cfg));
+    }
+    if all || what == "fig10" {
+        section("Figure 10");
+        let cfg = if quick {
+            bench::fig10::Fig10Config::quick()
+        } else {
+            bench::fig10::Fig10Config::paper()
+        };
+        println!("{}", bench::fig10::render(&bench::fig10::run(&cfg)));
+    }
+    if all || what == "fig11" {
+        section("Figure 11");
+        println!("{}", bench::fig11::render(&bench::fig11::run()));
+    }
+    if all || what == "thp" {
+        section("Ablation: THP");
+        let cfg = if quick {
+            bench::thp::ThpConfig::quick()
+        } else {
+            bench::thp::ThpConfig::paper()
+        };
+        println!("{}", bench::thp::render(&bench::thp::run(&cfg)));
+    }
+    if all || what == "soft" {
+        section("Ablation: soft memory");
+        println!("{}", bench::soft::render(&bench::soft::run()));
+    }
+    if all || what == "fpr" {
+        section("Ablation: free page reporting");
+        let cfg = if quick {
+            bench::fpr::FprConfig::quick()
+        } else {
+            bench::fpr::FprConfig::paper()
+        };
+        println!("{}", bench::fpr::render(&bench::fpr::run(&cfg)));
+    }
+    if all || what == "temporal" {
+        section("Ablation: temporal segregation");
+        println!("{}", bench::temporal::render(&bench::temporal::run()));
+    }
+    if all || what == "hybrid" {
+        section("Ablation: hybrid scaling");
+        let cfg = if quick {
+            bench::hybrid::HybridConfig::quick()
+        } else {
+            bench::hybrid::HybridConfig::paper()
+        };
+        println!("{}", bench::hybrid::render(&cfg, &bench::hybrid::run(&cfg)));
+    }
+    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn section(name: &str) {
+    println!("{}", "=".repeat(72));
+    println!("== {name}");
+    println!("{}", "=".repeat(72));
+}

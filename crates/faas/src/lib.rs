@@ -1,0 +1,20 @@
+//! An OpenWhisk-style FaaS runtime model over dynamically resized VMs.
+//!
+//! Reproduces the paper's deployment (§4.2, §5): a controller routes
+//! invocations to per-VM agents that reuse warm instances, scale up with
+//! memory plugs, keep idle instances alive for 2 minutes and scale down
+//! with memory reclamation through one of four elasticity backends
+//! (Static, vanilla virtio-mem, HarvestVM-opts, Squeezy). Also provides
+//! the 1:1 microVM cold-start model for the Figure-11 comparison.
+
+pub mod config;
+pub mod hybrid;
+pub mod metrics;
+pub mod microvm;
+pub mod sim;
+
+pub use config::{BackendKind, Deployment, HarvestConfig, SimConfig, VmSpec};
+pub use hybrid::{absorb_burst, BurstOutcome, ScaleStrategy};
+pub use metrics::{FuncMetrics, ReclaimTotals, SimResult};
+pub use microvm::{microvm_cold_start, n_to_one_cold_start, ColdStartBreakdown};
+pub use sim::FaasSim;

@@ -1,0 +1,157 @@
+//! Simulation metrics: request latencies, memory timelines, reclaim
+//! accounting.
+
+use std::collections::BTreeMap;
+
+use sim_core::{Histogram, SimDuration, SimTime, TimeSeries};
+use workloads::FunctionKind;
+
+/// Per-function request metrics.
+#[derive(Default)]
+pub struct FuncMetrics {
+    /// End-to-end request latency (ms), arrival → completion.
+    pub latency: Histogram,
+    /// `(arrival_s, latency_ms)` pairs for time-resolved plots (Fig. 9).
+    pub latency_points: Vec<(f64, f64)>,
+    /// Requests that triggered a new instance (cold starts).
+    pub cold_starts: u64,
+    /// Requests served by a warm instance.
+    pub warm_starts: u64,
+    /// Cold-start latency (ms): scale-up trigger → instance warm.
+    pub cold_start_latency: Histogram,
+}
+
+impl FuncMetrics {
+    /// Mean latency of requests arriving in `[from_s, to_s)`.
+    pub fn mean_latency_in(&self, from_s: f64, to_s: f64) -> Option<f64> {
+        let pts: Vec<f64> = self
+            .latency_points
+            .iter()
+            .filter(|(a, _)| *a >= from_s && *a < to_s)
+            .map(|&(_, l)| l)
+            .collect();
+        if pts.is_empty() {
+            None
+        } else {
+            Some(pts.iter().sum::<f64>() / pts.len() as f64)
+        }
+    }
+}
+
+/// Per-VM reclaim accounting (drives the Figure-8 throughput numbers).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReclaimTotals {
+    /// Bytes successfully reclaimed to the host.
+    pub bytes: u64,
+    /// Wall time spent by reclaim operations.
+    pub wall: SimDuration,
+    /// Reclaim operations issued.
+    pub ops: u64,
+    /// Operations that reclaimed less than requested.
+    pub shortfalls: u64,
+    /// Pages migrated along the way.
+    pub pages_migrated: u64,
+}
+
+impl ReclaimTotals {
+    /// Reclamation throughput in MiB/s (0 when no time was spent).
+    pub fn throughput_mibs(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.bytes as f64 / (1 << 20) as f64) / secs
+        }
+    }
+}
+
+/// Everything a simulation run produces.
+pub struct SimResult {
+    /// Per-function request metrics.
+    pub per_func: BTreeMap<FunctionKind, FuncMetrics>,
+    /// Host memory usage over time (bytes).
+    pub host_usage: TimeSeries,
+    /// Per-VM guest memory usage over time (bytes).
+    pub guest_usage: Vec<TimeSeries>,
+    /// Per-VM live instance counts over time.
+    pub instance_counts: Vec<TimeSeries>,
+    /// Per-VM reclaim accounting.
+    pub reclaims: Vec<ReclaimTotals>,
+    /// Total requests completed.
+    pub completed: u64,
+    /// Simulated end time.
+    pub end: SimTime,
+}
+
+impl SimResult {
+    /// Integrated host memory footprint in GiB·s (Figure 10 right).
+    pub fn gib_seconds(&self) -> f64 {
+        self.host_usage.integral_until(self.end) / (1u64 << 30) as f64
+    }
+
+    /// P99 latency (ms) for one function.
+    pub fn p99_ms(&mut self, kind: FunctionKind) -> f64 {
+        self.per_func
+            .get_mut(&kind)
+            .map(|m| m.latency.p99())
+            .unwrap_or(0.0)
+    }
+
+    /// Aggregate reclaim totals across VMs.
+    pub fn total_reclaims(&self) -> ReclaimTotals {
+        let mut acc = ReclaimTotals::default();
+        for r in &self.reclaims {
+            acc.bytes += r.bytes;
+            acc.wall += r.wall;
+            acc.ops += r.ops;
+            acc.shortfalls += r.shortfalls;
+            acc.pages_migrated += r.pages_migrated;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reclaim_throughput() {
+        let r = ReclaimTotals {
+            bytes: 512 << 20,
+            wall: SimDuration::millis(250),
+            ops: 2,
+            shortfalls: 0,
+            pages_migrated: 0,
+        };
+        assert!((r.throughput_mibs() - 2048.0).abs() < 1e-9);
+        assert_eq!(ReclaimTotals::default().throughput_mibs(), 0.0);
+    }
+
+    #[test]
+    fn mean_latency_in_window() {
+        let mut m = FuncMetrics::default();
+        m.latency_points.push((1.0, 100.0));
+        m.latency_points.push((2.0, 200.0));
+        m.latency_points.push((10.0, 1000.0));
+        assert_eq!(m.mean_latency_in(0.0, 5.0), Some(150.0));
+        assert_eq!(m.mean_latency_in(5.0, 20.0), Some(1000.0));
+        assert_eq!(m.mean_latency_in(20.0, 30.0), None);
+    }
+
+    #[test]
+    fn gib_seconds_integration() {
+        let mut host_usage = TimeSeries::new();
+        host_usage.push(SimTime::ZERO, (2u64 << 30) as f64);
+        let result = SimResult {
+            per_func: BTreeMap::new(),
+            host_usage,
+            guest_usage: vec![],
+            instance_counts: vec![],
+            reclaims: vec![],
+            completed: 0,
+            end: SimTime::ZERO + SimDuration::secs(10),
+        };
+        assert!((result.gib_seconds() - 20.0).abs() < 1e-9);
+    }
+}

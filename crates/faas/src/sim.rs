@@ -1,0 +1,1369 @@
+//! The FaaS runtime discrete-event simulation.
+//!
+//! Models the paper's OpenWhisk-based deployment (§5, §6.2): a host
+//! controller routes invocations to per-VM agents; agents reuse warm
+//! instances, scale up (plug + container init + function init) when none
+//! is idle, keep instances alive for a fixed window, and scale down
+//! (evict + reclaim) when the window expires. The elasticity backend —
+//! Static, vanilla virtio-mem, HarvestVM-opts, Squeezy, or Squeezy with
+//! §7 soft memory — decides how guest memory is plugged and reclaimed
+//! and at what cost.
+//!
+//! Time is event-driven; CPU contention inside each VM is the fluid
+//! model of [`sim_core::CpuPool`], so a virtio-mem driver kthread
+//! migrating pages visibly slows co-located instances (Figure 9), while
+//! Squeezy's instant unplug does not.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use guest_mm::Pid;
+use mem_types::align_up_to_block;
+use sim_core::{CostModel, CpuPool, DetRng, EventQueue, SimDuration, SimTime, TaskId, TimeSeries};
+use squeezy::{AttachOutcome, PartitionId, SqueezyConfig, SqueezyManager};
+use vmm::{HostMemory, Vm, VmConfig, VmmError};
+use workloads::FunctionKind;
+
+use crate::config::{BackendKind, SimConfig};
+use crate::metrics::{FuncMetrics, ReclaimTotals, SimResult};
+
+const EPS_CPU: f64 = 1e-9;
+
+/// Events driving the simulation.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A request for deployment `dep` on VM `vm` arrives.
+    Arrival { vm: usize, dep: usize },
+    /// A CPU-pool completion may have occurred on VM `vm`.
+    CpuDone { vm: usize, gen: u64 },
+    /// The memory plug for instance `inst` finished.
+    PlugDone { vm: usize, inst: u64 },
+    /// Keep-alive check for instance `inst`.
+    KeepAlive { vm: usize, inst: u64 },
+    /// A reclaim operation completed; release its host memory.
+    ReclaimDone { vm: usize, token: u64 },
+    /// Background retry of an unplug request the deadline cut short.
+    RetryReclaim { vm: usize, bytes: u64, retries: u8 },
+    /// Periodic metrics sampling.
+    Sample,
+}
+
+/// What a CPU-pool task is doing.
+#[derive(Clone, Copy, Debug)]
+enum Work {
+    ContainerInit { inst: u64 },
+    FunctionInit { inst: u64 },
+    Exec { inst: u64, arrival: SimTime },
+    ReclaimKthread { token: u64 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum InstState {
+    Starting,
+    Warm,
+    Busy,
+    /// Alive but its soft partition was revoked (§7): serves nothing
+    /// until it re-plugs and rebuilds on the next request.
+    Hollow,
+}
+
+struct Instance {
+    dep: usize,
+    pid: Pid,
+    state: InstState,
+    last_used: SimTime,
+    started_at: SimTime,
+    plug_done: bool,
+    container_done: bool,
+    first_exec_pending: bool,
+    partition: Option<PartitionId>,
+}
+
+struct PendingReclaim {
+    /// Host bytes to release when the reclaim completes.
+    host_bytes: u64,
+    /// Guest bytes unplugged (Figure-8 throughput accounting).
+    guest_bytes: u64,
+    started: SimTime,
+    shortfall: bool,
+    pages_migrated: u64,
+    /// Bytes the deadline left unreclaimed (virtio backends retry them
+    /// in the background, like the real driver's ongoing requests).
+    shortfall_bytes: u64,
+    /// Background retries left for the shortfall.
+    retries_left: u8,
+}
+
+struct VmRt {
+    vm: Vm,
+    squeezy: Option<SqueezyManager>,
+    pool: CpuPool,
+    pool_gen: u64,
+    work: BTreeMap<TaskId, Work>,
+    instances: BTreeMap<u64, Instance>,
+    /// Per-deployment FIFO of queued request arrival times.
+    queues: Vec<VecDeque<SimTime>>,
+    reclaim: ReclaimTotals,
+    guest_series: TimeSeries,
+    inst_series: TimeSeries,
+}
+
+impl VmRt {
+    fn alive_of(&self, dep: usize) -> usize {
+        self.instances.values().filter(|i| i.dep == dep).count()
+    }
+
+    fn starting_of(&self, dep: usize) -> usize {
+        self.instances
+            .values()
+            .filter(|i| i.dep == dep && i.state == InstState::Starting)
+            .count()
+    }
+
+    fn idle_instance_of(&self, dep: usize) -> Option<u64> {
+        self.instances
+            .iter()
+            .filter(|(_, i)| i.dep == dep && i.state == InstState::Warm)
+            .map(|(&id, _)| id)
+            .next()
+    }
+
+    fn hollow_instance_of(&self, dep: usize) -> Option<u64> {
+        self.instances
+            .iter()
+            .filter(|(_, i)| i.dep == dep && i.state == InstState::Hollow)
+            .map(|(&id, _)| id)
+            .next()
+    }
+}
+
+/// The FaaS runtime simulator.
+pub struct FaasSim {
+    config: SimConfig,
+    cost: CostModel,
+    host: HostMemory,
+    vms: Vec<VmRt>,
+    events: EventQueue<Event>,
+    per_func: BTreeMap<FunctionKind, FuncMetrics>,
+    host_series: TimeSeries,
+    pending_reclaims: HashMap<(usize, u64), PendingReclaim>,
+    next_inst: u64,
+    next_token: u64,
+    completed: u64,
+    rng: DetRng,
+    /// HarvestVM-opts slack buffer currently held (host bytes reserved).
+    harvest_buffer: u64,
+}
+
+impl FaasSim {
+    /// Builds a simulation: boots the VMs, installs backends, schedules
+    /// all arrivals.
+    pub fn new(config: SimConfig) -> Result<FaasSim, VmmError> {
+        let cost = CostModel::default();
+        let mut host = HostMemory::new(config.host_capacity);
+        let mut vms = Vec::new();
+        let mut events = EventQueue::new();
+
+        for (vi, spec) in config.vms.iter().enumerate() {
+            // Size the VM: boot memory + hotplug region for N instances.
+            let total_limit: u64 = spec
+                .deployments
+                .iter()
+                .map(|d| {
+                    align_up_to_block(d.kind.profile().memory_limit.bytes())
+                        * d.concurrency as u64
+                })
+                .sum();
+            let shared_need: u64 = spec
+                .deployments
+                .iter()
+                .map(|d| {
+                    let p = d.kind.profile();
+                    p.deps_bytes + p.rootfs_bytes
+                })
+                .sum::<u64>()
+                + 128 * (1 << 20);
+            let shared_bytes = align_up_to_block(shared_need);
+            let max_limit: u64 = spec
+                .deployments
+                .iter()
+                .map(|d| align_up_to_block(d.kind.profile().memory_limit.bytes()))
+                .max()
+                .unwrap_or(0);
+            let hotplug = match config.backend {
+                b if b.is_squeezy() => shared_bytes + total_limit,
+                // Non-partitioned backends get extra device headroom:
+                // reclaim shortfalls leave blocks plugged, and the VM
+                // must keep growing past them (the paper's virtio-mem
+                // "uses the maximum memory available").
+                _ => align_up_to_block(
+                    total_limit + shared_bytes + 256 * (1 << 20) + 2 * max_limit,
+                ),
+            };
+            let vm_config = VmConfig {
+                guest: guest_mm::GuestMmConfig {
+                    boot_bytes: 1 << 30,
+                    hotplug_bytes: hotplug,
+                    kernel_bytes: 192 * (1 << 20),
+                    init_on_alloc: true,
+                },
+                vcpus: spec.effective_vcpus(),
+            };
+            let mut vm = Vm::boot(vm_config, &mut host)?;
+
+            let squeezy = match config.backend {
+                b if b.is_squeezy() => {
+                    // One partition size per VM: the largest hosted limit
+                    // (co-located functions share limits in the paper's
+                    // co-location experiment).
+                    let part = spec
+                        .deployments
+                        .iter()
+                        .map(|d| align_up_to_block(d.kind.profile().memory_limit.bytes()))
+                        .max()
+                        .expect("VM hosts at least one deployment");
+                    let n: u32 = spec.deployments.iter().map(|d| d.concurrency).sum();
+                    Some(
+                        SqueezyManager::install(
+                            &mut vm,
+                            SqueezyConfig {
+                                partition_bytes: part,
+                                shared_bytes,
+                                concurrency: n,
+                            },
+                            &cost,
+                        )
+                        .expect("squeezy layout fits the sized region"),
+                    )
+                }
+                BackendKind::Static => {
+                    // Over-provisioned VM: everything plugged at boot.
+                    vm.plug(hotplug, &cost).expect("static plug fits region");
+                    None
+                }
+                _ => None,
+            };
+
+            let ndeps = spec.deployments.len();
+            vms.push(VmRt {
+                vm,
+                squeezy,
+                pool: CpuPool::new(spec.effective_vcpus()),
+                pool_gen: 0,
+                work: BTreeMap::new(),
+                instances: BTreeMap::new(),
+                queues: vec![VecDeque::new(); ndeps],
+                reclaim: ReclaimTotals::default(),
+                guest_series: TimeSeries::new(),
+                inst_series: TimeSeries::new(),
+            });
+
+            for (di, d) in spec.deployments.iter().enumerate() {
+                for &t in d.arrivals.iter().filter(|&&t| t < config.duration_s) {
+                    events.push(
+                        SimTime::ZERO + SimDuration::from_secs_f64(t),
+                        Event::Arrival { vm: vi, dep: di },
+                    );
+                }
+            }
+        }
+        events.push(SimTime::ZERO, Event::Sample);
+
+        let mut per_func = BTreeMap::new();
+        for spec in &config.vms {
+            for d in &spec.deployments {
+                per_func.entry(d.kind).or_insert_with(FuncMetrics::default);
+            }
+        }
+
+        // HarvestVM-opts reserves its slack buffer up front — idle
+        // memory traded for instant scale-ups (§6.2.2).
+        let mut harvest_buffer = 0;
+        if config.backend == BackendKind::HarvestOpts {
+            let want = config.harvest.buffer_bytes.min(host.free_bytes());
+            host.reserve(want).expect("checked free");
+            harvest_buffer = want;
+        }
+
+        let seed = config.seed;
+        Ok(FaasSim {
+            config,
+            cost,
+            host,
+            vms,
+            events,
+            per_func,
+            host_series: TimeSeries::new(),
+            pending_reclaims: HashMap::new(),
+            next_inst: 0,
+            next_token: 0,
+            completed: 0,
+            rng: DetRng::new(seed),
+            harvest_buffer,
+        })
+    }
+
+    /// Runs the simulation to completion and returns the results.
+    pub fn run(mut self) -> SimResult {
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                Event::Arrival { vm, dep } => self.on_arrival(now, vm, dep),
+                Event::CpuDone { vm, gen } => self.on_cpu_done(now, vm, gen),
+                Event::PlugDone { vm, inst } => self.on_plug_done(now, vm, inst),
+                Event::KeepAlive { vm, inst } => self.on_keepalive(now, vm, inst),
+                Event::ReclaimDone { vm, token } => self.on_reclaim_done(now, vm, token),
+                Event::RetryReclaim { vm, bytes, retries } => {
+                    self.sync_pool(vm, now);
+                    self.start_virtio_reclaim(now, vm, bytes, retries);
+                    self.reschedule_cpu(vm);
+                }
+                Event::Sample => self.on_sample(now),
+            }
+        }
+        let end = SimTime::ZERO + SimDuration::from_secs_f64(self.config.duration_s);
+        SimResult {
+            per_func: self.per_func,
+            host_usage: self.host_series,
+            guest_usage: self.vms.iter().map(|v| v.guest_series.clone()).collect(),
+            instance_counts: self.vms.iter().map(|v| v.inst_series.clone()).collect(),
+            reclaims: self.vms.iter().map(|v| v.reclaim).collect(),
+            completed: self.completed,
+            end,
+        }
+    }
+
+    // --- Event handlers ---------------------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime, vm: usize, dep: usize) {
+        self.sync_pool(vm, now);
+        let kind = self.dep_kind(vm, dep);
+        if let Some(inst) = self.vms[vm].idle_instance_of(dep) {
+            self.metrics(kind).warm_starts += 1;
+            self.dispatch_exec(now, vm, inst, now);
+        } else {
+            self.vms[vm].queues[dep].push_back(now);
+            self.metrics(kind).cold_starts += 1;
+            self.maybe_scale_up(now, vm, dep);
+        }
+        self.reschedule_cpu(vm);
+    }
+
+    fn on_cpu_done(&mut self, now: SimTime, vm: usize, gen: u64) {
+        if self.vms[vm].pool_gen != gen {
+            return; // Stale completion prediction.
+        }
+        self.sync_pool(vm, now);
+        // Collect finished tasks.
+        let finished: Vec<(TaskId, Work)> = self.vms[vm]
+            .work
+            .iter()
+            .filter(|(tid, _)| {
+                self.vms[vm]
+                    .pool
+                    .remaining(**tid)
+                    .map(|r| r <= EPS_CPU)
+                    .unwrap_or(false)
+            })
+            .map(|(&tid, &w)| (tid, w))
+            .collect();
+        for (tid, work) in finished {
+            self.vms[vm].pool.remove(tid);
+            self.vms[vm].work.remove(&tid);
+            match work {
+                Work::ContainerInit { inst } => {
+                    if let Some(i) = self.vms[vm].instances.get_mut(&inst) {
+                        i.container_done = true;
+                    }
+                    self.check_init_ready(now, vm, inst);
+                }
+                Work::FunctionInit { inst } => self.on_instance_warm(now, vm, inst),
+                Work::Exec { inst, arrival } => self.on_exec_done(now, vm, inst, arrival),
+                Work::ReclaimKthread { token } => {
+                    self.events.push(now, Event::ReclaimDone { vm, token });
+                }
+            }
+        }
+        self.reschedule_cpu(vm);
+    }
+
+    fn on_plug_done(&mut self, now: SimTime, vm: usize, inst: u64) {
+        self.sync_pool(vm, now);
+        if self.vms[vm].squeezy.is_some() {
+            // Squeezy: bind queued waiters to the freshly populated
+            // partition(s). A concurrent scale-up may have reused the
+            // partition this plug populated; binding goes FIFO and any
+            // instance left unbound re-plugs below.
+            let mut sq = self.vms[vm].squeezy.take().expect("checked");
+            let woken = sq.wake_waiters(&mut self.vms[vm].vm);
+            let mut ready = Vec::new();
+            for (pid, part) in woken {
+                if let Some((&id, _)) =
+                    self.vms[vm].instances.iter().find(|(_, i)| i.pid == pid)
+                {
+                    let i = self.vms[vm].instances.get_mut(&id).expect("exists");
+                    i.partition = Some(part);
+                    i.plug_done = true;
+                    ready.push(id);
+                }
+            }
+            // A rebuild re-plug (§7 soft memory) completes directly:
+            // the instance kept its partition across the revocation.
+            let rebuilt = self.vms[vm]
+                .instances
+                .get(&inst)
+                .map(|i| {
+                    i.state == InstState::Starting && !i.plug_done && i.partition.is_some()
+                })
+                .unwrap_or(false);
+            if rebuilt {
+                self.vms[vm]
+                    .instances
+                    .get_mut(&inst)
+                    .expect("checked above")
+                    .plug_done = true;
+                ready.push(inst);
+            }
+            // If this event's instance is still unbound (its partition
+            // was taken), plug a replacement partition for it.
+            let unbound = self.vms[vm]
+                .instances
+                .get(&inst)
+                .map(|i| i.state == InstState::Starting && i.partition.is_none())
+                .unwrap_or(false);
+            if unbound {
+                let (_, report) = sq
+                    .plug_partition(&mut self.vms[vm].vm, &self.cost)
+                    .expect("a starving instance implies an unpopulated partition");
+                self.events
+                    .push(now + report.latency(), Event::PlugDone { vm, inst });
+            }
+            self.vms[vm].squeezy = Some(sq);
+            for id in ready {
+                self.check_init_ready(now, vm, id);
+            }
+        } else {
+            if let Some(i) = self.vms[vm].instances.get_mut(&inst) {
+                i.plug_done = true;
+            }
+            self.check_init_ready(now, vm, inst);
+        }
+        self.reschedule_cpu(vm);
+    }
+
+    fn on_keepalive(&mut self, now: SimTime, vm: usize, inst: u64) {
+        self.sync_pool(vm, now);
+        let expired = match self.vms[vm].instances.get(&inst) {
+            Some(i) => {
+                matches!(i.state, InstState::Warm | InstState::Hollow)
+                    && now.since(i.last_used).as_secs_f64() + 1e-6 >= self.config.keepalive_s
+            }
+            None => false,
+        };
+        if expired {
+            self.evict_instance(now, vm, inst);
+            // HarvestVM-opts: proactively evict extra idle instances to
+            // refill the slack buffer (§6.2.2) — the "aggressive
+            // reclamation" that penalizes their functions later.
+            if self.config.backend == BackendKind::HarvestOpts
+                && self.harvest_buffer < self.config.harvest.buffer_bytes
+            {
+                for _ in 0..self.config.harvest.proactive_evictions {
+                    let extra = self.vms[vm]
+                        .instances
+                        .iter()
+                        .filter(|(_, i)| i.state == InstState::Warm)
+                        .min_by_key(|(_, i)| i.last_used)
+                        .map(|(&id, _)| id);
+                    match extra {
+                        Some(id) => self.evict_instance(now, vm, id),
+                        None => break,
+                    }
+                }
+            }
+            self.retry_scale_ups(now);
+        }
+        self.reschedule_cpu(vm);
+    }
+
+    fn on_reclaim_done(&mut self, now: SimTime, vm: usize, token: u64) {
+        self.sync_pool(vm, now);
+        if let Some(p) = self.pending_reclaims.remove(&(vm, token)) {
+            self.host.release(p.host_bytes);
+            if p.shortfall_bytes > 0 && p.retries_left > 0 {
+                // The driver retries the remaining request periodically
+                // in the background (the paper's reclamation timeouts:
+                // the memory is not available when the scale-up needs
+                // it, but the VM recovers eventually).
+                self.events.push(
+                    now + SimDuration::secs(5),
+                    Event::RetryReclaim {
+                        vm,
+                        bytes: p.shortfall_bytes,
+                        retries: p.retries_left - 1,
+                    },
+                );
+            }
+            let r = &mut self.vms[vm].reclaim;
+            r.bytes += p.guest_bytes;
+            r.wall += now.since(p.started);
+            r.ops += 1;
+            r.pages_migrated += p.pages_migrated;
+            if p.shortfall {
+                r.shortfalls += 1;
+            }
+            // HarvestVM-opts: siphon freed memory into the slack buffer.
+            if self.config.backend == BackendKind::HarvestOpts {
+                let want = self
+                    .config
+                    .harvest
+                    .buffer_bytes
+                    .saturating_sub(self.harvest_buffer)
+                    .min(self.host.free_bytes());
+                if want > 0 {
+                    self.host.reserve(want).expect("checked free");
+                    self.harvest_buffer += want;
+                }
+            }
+        }
+        // Freed memory may unblock waiting scale-ups.
+        self.retry_scale_ups(now);
+        self.reschedule_cpu(vm);
+    }
+
+    fn on_sample(&mut self, now: SimTime) {
+        // Safety net for queues whose deployment has no instance left and
+        // no reclaim in flight: retry their scale-ups periodically.
+        self.retry_scale_ups(now);
+        self.host_series.push(now, self.host.used_bytes() as f64);
+        for v in &mut self.vms {
+            v.guest_series.push(now, v.vm.guest.used_bytes() as f64);
+            v.inst_series.push(now, v.instances.len() as f64);
+        }
+        let next = now + SimDuration::from_secs_f64(self.config.sample_period_s);
+        if next.as_secs_f64() <= self.config.duration_s {
+            self.events.push(next, Event::Sample);
+        }
+    }
+
+    // --- Scale-up path ------------------------------------------------------
+
+    fn maybe_scale_up(&mut self, now: SimTime, vm: usize, dep: usize) {
+        loop {
+            let queued = self.vms[vm].queues[dep].len();
+            let starting = self.vms[vm].starting_of(dep);
+            if queued <= starting {
+                break;
+            }
+            // Soft backend: a hollow (revoked) instance is cheaper to
+            // rebuild than a fresh instance is to start.
+            if let Some(hollow) = self.vms[vm].hollow_instance_of(dep) {
+                if self.admit(now, vm, dep) {
+                    self.rebuild_instance(now, vm, hollow);
+                    continue;
+                }
+                break;
+            }
+            let alive = self.vms[vm].alive_of(dep);
+            let n = self.config.vms[vm].deployments[dep].concurrency as usize;
+            if alive >= n {
+                break;
+            }
+            if !self.admit(now, vm, dep) {
+                break;
+            }
+            if !self.start_instance(now, vm, dep) {
+                break;
+            }
+        }
+    }
+
+    /// Re-plugs and rebuilds a hollow (soft-revoked) instance: the
+    /// container and runtime survived, so only the partition plug and
+    /// the working-set rebuild are paid (the §7 soft-cold start).
+    fn rebuild_instance(&mut self, now: SimTime, vm: usize, inst: u64) {
+        let pid = self.vms[vm].instances[&inst].pid;
+        let v = &mut self.vms[vm];
+        let sq = v.squeezy.as_mut().expect("soft backend installs squeezy");
+        match sq.mark_firm(pid).expect("hollow instance is attached") {
+            squeezy::SoftWake::NeedsReplug => {
+                let report = sq.replug(&mut v.vm, pid, &self.cost).expect("revoked");
+                let i = v.instances.get_mut(&inst).expect("exists");
+                i.state = InstState::Starting;
+                i.plug_done = false;
+                i.container_done = true;
+                i.first_exec_pending = true;
+                i.started_at = now;
+                self.events
+                    .push(now + report.latency(), Event::PlugDone { vm, inst });
+            }
+            squeezy::SoftWake::Warm => {
+                // The partition was never unplugged after all.
+                let i = v.instances.get_mut(&inst).expect("exists");
+                i.state = InstState::Warm;
+                i.last_used = now;
+            }
+        }
+    }
+
+    /// Host-memory admission for one new instance: the runtime reserves
+    /// the instance's user-defined memory limit (§4.2 — plug requests
+    /// carry "the memory size pre-defined by the user"). May trigger
+    /// evictions and return `false` (the scale-up is retried on reclaim
+    /// completions).
+    fn admit(&mut self, now: SimTime, vm: usize, dep: usize) -> bool {
+        let estimate = align_up_to_block(self.dep_kind(vm, dep).profile().memory_limit.bytes());
+        if self.config.backend == BackendKind::HarvestOpts {
+            if self.harvest_buffer >= estimate {
+                // Draw from the slack buffer: memory is already
+                // reserved; hand it to the VM by releasing it for its
+                // faults.
+                self.harvest_buffer -= estimate;
+                self.host.release(estimate);
+                return true;
+            }
+            if self.harvest_buffer + self.host.free_bytes() >= estimate {
+                // Drain what the buffer has and cover the rest from the
+                // free pool.
+                self.host.release(self.harvest_buffer);
+                self.harvest_buffer = 0;
+                return true;
+            }
+        }
+        if self.host.free_bytes() >= estimate {
+            return true;
+        }
+        // SqueezySoft: revoke soft partitions first — idle instances
+        // donate memory without dying (§7), so the later warm/soft-cold
+        // starts stay cheaper than full cold starts.
+        if self.config.backend == BackendKind::SqueezySoft {
+            let deficit = estimate.saturating_sub(self.host.free_bytes());
+            self.revoke_soft_for_pressure(now, deficit);
+            if self.host.free_bytes() >= estimate {
+                return true;
+            }
+        }
+        // Evict idle instances (oldest first, across all VMs) until the
+        // expected release covers the deficit.
+        let mut deficit = estimate.saturating_sub(self.host.free_bytes()) as i64;
+        while deficit > 0 {
+            let victim = self.oldest_idle_instance();
+            let Some((v, id)) = victim else { break };
+            // Predict the victim's release: its limit-sized reclaim
+            // covers roughly the blocks its footprint pinned.
+            let released_estimate = {
+                let i = &self.vms[v].instances[&id];
+                self.config.vms[v].deployments[i.dep]
+                    .kind
+                    .profile()
+                    .anon_bytes
+            };
+            self.sync_pool(v, now);
+            self.evict_instance(now, v, id);
+            self.reschedule_cpu(v);
+            deficit -= released_estimate as i64;
+        }
+        // Squeezy's synchronous unplug may have freed enough already.
+        self.host.free_bytes() >= estimate
+    }
+
+    fn oldest_idle_instance(&self) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64, SimTime)> = None;
+        for (vi, v) in self.vms.iter().enumerate() {
+            for (&id, i) in &v.instances {
+                if i.state == InstState::Warm {
+                    match best {
+                        Some((_, _, t)) if t <= i.last_used => {}
+                        _ => best = Some((vi, id, i.last_used)),
+                    }
+                }
+            }
+        }
+        best.map(|(v, id, _)| (v, id))
+    }
+
+    fn retry_scale_ups(&mut self, now: SimTime) {
+        for vi in 0..self.vms.len() {
+            self.sync_pool(vi, now);
+            for di in 0..self.vms[vi].queues.len() {
+                if !self.vms[vi].queues[di].is_empty() {
+                    self.maybe_scale_up(now, vi, di);
+                }
+            }
+            self.reschedule_cpu(vi);
+        }
+    }
+
+    /// Starts one instance. Returns `false` (cancelling the scale-up)
+    /// when the memory plug fails — e.g. the virtio-mem region is
+    /// exhausted because earlier reclaims timed out short (§6.2.2's
+    /// "virtio-mem fails to reclaim the necessary memory ... forcing
+    /// [requests] to be served by already alive instances").
+    fn start_instance(&mut self, now: SimTime, vm: usize, dep: usize) -> bool {
+        let kind = self.dep_kind(vm, dep);
+        let profile = kind.profile();
+        let pid = self.vms[vm]
+            .vm
+            .guest
+            .spawn_process(guest_mm::AllocPolicy::MovableDefault);
+        let id = self.next_inst;
+        self.next_inst += 1;
+
+        let mut inst = Instance {
+            dep,
+            pid,
+            state: InstState::Starting,
+            last_used: now,
+            started_at: now,
+            plug_done: false,
+            container_done: false,
+            first_exec_pending: true,
+            partition: None,
+        };
+
+        // Backend-specific memory plug, in parallel with container init.
+        match self.config.backend {
+            BackendKind::Static => {
+                inst.plug_done = true;
+                self.vms[vm].instances.insert(id, inst);
+            }
+            BackendKind::VirtioMem | BackendKind::HarvestOpts => {
+                let bytes = align_up_to_block(profile.memory_limit.bytes());
+                let report = {
+                    let v = &mut self.vms[vm];
+                    match v.vm.plug(bytes, &self.cost) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            // Region exhausted (reclaim shortfalls): the
+                            // request stays queued for a warm instance.
+                            let _ = v.vm.guest.exit_process(pid);
+                            return false;
+                        }
+                    }
+                };
+                self.vms[vm].instances.insert(id, inst);
+                self.events
+                    .push(now + report.latency(), Event::PlugDone { vm, inst: id });
+            }
+            BackendKind::Squeezy | BackendKind::SqueezySoft => {
+                let v = &mut self.vms[vm];
+                let sq = v.squeezy.as_mut().expect("squeezy backend installed");
+                match sq.attach(&mut v.vm, pid).expect("fresh pid attaches") {
+                    AttachOutcome::Attached(part) => {
+                        // Reused an already-populated partition.
+                        inst.partition = Some(part);
+                        inst.plug_done = true;
+                        self.vms[vm].instances.insert(id, inst);
+                    }
+                    AttachOutcome::Queued => {
+                        let (_, report) = sq
+                            .plug_partition(&mut v.vm, &self.cost)
+                            .expect("concurrency bound leaves a partition");
+                        self.vms[vm].instances.insert(id, inst);
+                        self.events
+                            .push(now + report.latency(), Event::PlugDone { vm, inst: id });
+                    }
+                }
+            }
+        }
+
+        // Container (sandbox) init starts immediately — §6.2.1: sandbox
+        // setup proceeds in parallel with the plug.
+        let rootfs_latency = {
+            let v = &mut self.vms[vm];
+            match v.vm.touch_file(
+                &mut self.host,
+                kind.rootfs_file(),
+                profile.rootfs_pages(),
+                &self.cost,
+            ) {
+                Ok(c) => c.latency.as_secs_f64(),
+                Err(_) => 0.05, // Host pressure: fall back to a nominal read.
+            }
+        };
+        let demand = (profile.container_init_cpu_s + rootfs_latency).max(1e-6);
+        let tid = self.vms[vm].pool.add_task(demand, 1.0, 1.0);
+        self.vms[vm].work.insert(tid, Work::ContainerInit { inst: id });
+        true
+    }
+
+    fn check_init_ready(&mut self, now: SimTime, vm: usize, inst: u64) {
+        let ready = match self.vms[vm].instances.get(&inst) {
+            Some(i) => i.state == InstState::Starting && i.plug_done && i.container_done,
+            None => false,
+        };
+        if !ready {
+            return;
+        }
+        let (dep, pid) = {
+            let i = &self.vms[vm].instances[&inst];
+            (i.dep, i.pid)
+        };
+        let kind = self.dep_kind(vm, dep);
+        let profile = kind.profile();
+        // Function init touches the runtime deps (page cache / shared
+        // partition) and most of the anonymous working set.
+        let mut extra = 0.0;
+        {
+            let v = &mut self.vms[vm];
+            if let Ok(c) = v.vm.touch_file(
+                &mut self.host,
+                kind.deps_file(),
+                profile.deps_pages(),
+                &self.cost,
+            ) {
+                extra += c.latency.as_secs_f64();
+            }
+            match v
+                .vm
+                .touch_anon(&mut self.host, pid, profile.anon_pages() * 6 / 10, &self.cost)
+            {
+                Ok(c) => extra += c.latency.as_secs_f64(),
+                Err(_) => {
+                    // OOM (partition or host): the instance dies.
+                    self.kill_instance(now, vm, inst);
+                    return;
+                }
+            }
+        }
+        let demand = (profile.function_init_cpu_s + extra).max(1e-6);
+        let tid = self.vms[vm].pool.add_task(demand, 1.0, 1.0);
+        self.vms[vm].work.insert(tid, Work::FunctionInit { inst });
+    }
+
+    fn on_instance_warm(&mut self, now: SimTime, vm: usize, inst: u64) {
+        let dep = {
+            let Some(i) = self.vms[vm].instances.get_mut(&inst) else {
+                return;
+            };
+            i.state = InstState::Warm;
+            i.last_used = now;
+            i.dep
+        };
+        self.mark_soft_if_enabled(vm, inst);
+        let kind = self.dep_kind(vm, dep);
+        let cold_ms = now
+            .since(self.vms[vm].instances[&inst].started_at)
+            .as_millis_f64();
+        self.metrics(kind).cold_start_latency.record(cold_ms);
+        self.schedule_keepalive(now, vm, inst);
+        self.drain_queue(now, vm, dep);
+    }
+
+    fn drain_queue(&mut self, now: SimTime, vm: usize, dep: usize) {
+        while let Some(&arrival) = self.vms[vm].queues[dep].front() {
+            let Some(inst) = self.vms[vm].idle_instance_of(dep) else {
+                break;
+            };
+            self.vms[vm].queues[dep].pop_front();
+            self.dispatch_exec(now, vm, inst, arrival);
+        }
+    }
+
+    fn dispatch_exec(&mut self, now: SimTime, vm: usize, inst: u64, arrival: SimTime) {
+        let (dep, pid, first) = {
+            let i = self.vms[vm].instances.get_mut(&inst).expect("dispatch target");
+            debug_assert_eq!(i.state, InstState::Warm);
+            i.state = InstState::Busy;
+            let first = i.first_exec_pending;
+            i.first_exec_pending = false;
+            (i.dep, i.pid, first)
+        };
+        // Soft backend: firm the partition up while the instance works.
+        if self.config.backend == BackendKind::SqueezySoft {
+            let v = &mut self.vms[vm];
+            let sq = v.squeezy.as_mut().expect("installed");
+            let _ = sq.mark_firm(pid);
+        }
+        let kind = self.dep_kind(vm, dep);
+        let profile = kind.profile();
+        let mut extra = 0.0005; // Agent dispatch overhead.
+        if first {
+            // First execution touches the rest of the working set.
+            let v = &mut self.vms[vm];
+            if let Ok(c) = v.vm.touch_anon(
+                &mut self.host,
+                pid,
+                profile.anon_pages() - profile.anon_pages() * 6 / 10,
+                &self.cost,
+            ) {
+                extra += c.latency.as_secs_f64();
+            }
+        }
+        let jitter = self.rng.log_normal(0.0, 0.08);
+        let demand = (profile.exec_cpu_s * jitter + extra).max(1e-6);
+        let tid = self.vms[vm]
+            .pool
+            .add_task(demand, profile.vcpu_shares, profile.vcpu_shares);
+        self.vms[vm].work.insert(tid, Work::Exec { inst, arrival });
+        let _ = now; // Dispatch itself is instantaneous at `now`.
+    }
+
+    fn on_exec_done(&mut self, now: SimTime, vm: usize, inst: u64, arrival: SimTime) {
+        let dep = {
+            let i = self.vms[vm].instances.get_mut(&inst).expect("exec owner");
+            i.state = InstState::Warm;
+            i.last_used = now;
+            i.dep
+        };
+        self.mark_soft_if_enabled(vm, inst);
+        let kind = self.dep_kind(vm, dep);
+        let latency_ms = now.since(arrival).as_millis_f64();
+        let m = self.metrics(kind);
+        m.latency.record(latency_ms);
+        m.latency_points.push((arrival.as_secs_f64(), latency_ms));
+        self.completed += 1;
+        self.schedule_keepalive(now, vm, inst);
+        self.drain_queue(now, vm, dep);
+        // A newly idle instance may satisfy queued work elsewhere via
+        // memory that eviction would free; retry pending scale-ups.
+        if !self.vms[vm].queues[dep].is_empty() {
+            self.maybe_scale_up(now, vm, dep);
+        }
+    }
+
+    fn schedule_keepalive(&mut self, now: SimTime, vm: usize, inst: u64) {
+        let at = now + SimDuration::from_secs_f64(self.config.keepalive_s);
+        self.events.push(at, Event::KeepAlive { vm, inst });
+    }
+
+    /// SqueezySoft: newly idle instances offer their partition back.
+    fn mark_soft_if_enabled(&mut self, vm: usize, inst: u64) {
+        if self.config.backend != BackendKind::SqueezySoft {
+            return;
+        }
+        let pid = self.vms[vm].instances[&inst].pid;
+        let sq = self.vms[vm].squeezy.as_mut().expect("installed");
+        let _ = sq.mark_soft(pid);
+    }
+
+    /// SqueezySoft pressure valve: revoke soft partitions of idle
+    /// instances (without evicting them) until `deficit` host bytes are
+    /// covered or nothing soft is left. Returns the bytes released.
+    fn revoke_soft_for_pressure(&mut self, now: SimTime, deficit: u64) -> u64 {
+        let mut released = 0u64;
+        for vi in 0..self.vms.len() {
+            while released < deficit {
+                let used_before = self.host.used_bytes();
+                let v = &mut self.vms[vi];
+                let Some(sq) = v.squeezy.as_mut() else { break };
+                let revoked = sq
+                    .revoke_soft(&mut v.vm, &mut self.host, 1, &self.cost)
+                    .unwrap_or_default();
+                let Some((part, report)) = revoked.into_iter().next() else {
+                    break;
+                };
+                released += used_before - self.host.used_bytes();
+                // The partition's instance goes hollow.
+                if let Some((&id, _)) = v
+                    .instances
+                    .iter()
+                    .find(|(_, i)| i.partition == Some(part) && i.state == InstState::Warm)
+                {
+                    v.instances.get_mut(&id).expect("exists").state = InstState::Hollow;
+                }
+                let r = &mut self.vms[vi].reclaim;
+                r.bytes += report.bytes();
+                r.wall += report.latency();
+                r.ops += 1;
+            }
+            if released >= deficit {
+                break;
+            }
+        }
+        let _ = now;
+        released
+    }
+
+    // --- Scale-down path ------------------------------------------------------
+
+    /// Evicts one instance and starts the backend's reclaim.
+    fn evict_instance(&mut self, now: SimTime, vm: usize, inst: u64) {
+        let Some(i) = self.vms[vm].instances.remove(&inst) else {
+            return;
+        };
+        debug_assert_ne!(i.state, InstState::Busy, "never evict busy instances");
+        {
+            let v = &mut self.vms[vm];
+            v.vm.guest.exit_process(i.pid).expect("instance process alive");
+            if let Some(sq) = v.squeezy.as_mut() {
+                sq.detach(i.pid).expect("instance was attached");
+            }
+        }
+        // A hollow instance's partition was already reclaimed when its
+        // soft memory was revoked: nothing further to unplug.
+        if i.state != InstState::Hollow {
+            self.start_reclaim(now, vm, i.dep);
+        }
+    }
+
+    /// An instance died mid-init (OOM): clean up without reclaim.
+    fn kill_instance(&mut self, now: SimTime, vm: usize, inst: u64) {
+        let Some(i) = self.vms[vm].instances.remove(&inst) else {
+            return;
+        };
+        let v = &mut self.vms[vm];
+        let _ = v.vm.guest.exit_process(i.pid);
+        if let Some(sq) = v.squeezy.as_mut() {
+            let _ = sq.detach(i.pid);
+        }
+        let _ = now;
+    }
+
+    /// Launches the backend reclaim for one evicted instance of `dep`.
+    fn start_reclaim(&mut self, now: SimTime, vm: usize, dep: usize) {
+        let kind = self.dep_kind(vm, dep);
+        // The runtime resizes by "the function memory requirements
+        // (Table 1)" (§6.2): plug and unplug requests are both
+        // limit-sized, so the VM's plugged size tracks its instance
+        // count. Squeezy's unit is the whole partition by construction.
+        let freed = align_up_to_block(kind.profile().memory_limit.bytes());
+        let token = self.next_token;
+        self.next_token += 1;
+        match self.config.backend {
+            BackendKind::Static => {}
+            BackendKind::Squeezy | BackendKind::SqueezySoft => {
+                let used_before = self.host.used_bytes();
+                let v = &mut self.vms[vm];
+                let sq = v.squeezy.as_mut().expect("squeezy installed");
+                match sq.unplug_partition(&mut v.vm, &mut self.host, &self.cost) {
+                    Ok((_, report)) => {
+                        // Squeezy reclaims synchronously (§6.2.2): the
+                        // freed memory is available immediately — "the
+                        // drops preceding spikes". The ReclaimDone event
+                        // only closes the latency accounting.
+                        let _released = used_before - self.host.used_bytes();
+                        self.pending_reclaims.insert(
+                            (vm, token),
+                            PendingReclaim {
+                                host_bytes: 0,
+                                guest_bytes: report.bytes(),
+                                started: now,
+                                shortfall: false,
+                                pages_migrated: 0,
+                                shortfall_bytes: 0,
+                                retries_left: 0,
+                            },
+                        );
+                        self.events
+                            .push(now + report.latency(), Event::ReclaimDone { vm, token });
+                    }
+                    Err(_) => { /* partition reused concurrently: nothing to reclaim */ }
+                }
+            }
+            BackendKind::VirtioMem | BackendKind::HarvestOpts => {
+                self.start_virtio_reclaim(now, vm, freed, 1);
+            }
+        }
+    }
+
+    /// Launches one virtio-mem unplug of `bytes`, with `retries` more
+    /// background attempts for whatever the deadline leaves behind.
+    fn start_virtio_reclaim(&mut self, now: SimTime, vm: usize, bytes: u64, retries: u8) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let used_before = self.host.used_bytes();
+        let deadline = SimDuration::millis(self.config.unplug_deadline_ms);
+        let v = &mut self.vms[vm];
+        let report = match v.vm.unplug(&mut self.host, bytes, Some(deadline), &self.cost) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        if report.bytes() == 0 && report.outcome.migrated == 0 {
+            // Nothing reclaimable (no candidates): drop silently.
+            return;
+        }
+        let released = used_before - self.host.used_bytes();
+        self.host.reserve(released).expect("just freed");
+        self.pending_reclaims.insert(
+            (vm, token),
+            PendingReclaim {
+                host_bytes: released,
+                guest_bytes: report.bytes(),
+                started: now,
+                shortfall: report.shortfall_bytes > 0,
+                pages_migrated: report.outcome.migrated,
+                shortfall_bytes: report.shortfall_bytes,
+                retries_left: retries,
+            },
+        );
+        // The driver kthread migrates pages on the VM's vCPUs — the
+        // Figure-9 interference.
+        let demand = report.guest_cpu.as_secs_f64().max(1e-6);
+        let tid = self.vms[vm].pool.add_task(demand, 1.0, 1.0);
+        self.vms[vm].work.insert(tid, Work::ReclaimKthread { token });
+    }
+
+    // --- Plumbing ---------------------------------------------------------------
+
+    fn dep_kind(&self, vm: usize, dep: usize) -> FunctionKind {
+        self.config.vms[vm].deployments[dep].kind
+    }
+
+    fn metrics(&mut self, kind: FunctionKind) -> &mut FuncMetrics {
+        self.per_func.entry(kind).or_default()
+    }
+
+    fn sync_pool(&mut self, vm: usize, now: SimTime) {
+        if self.vms[vm].pool.now() < now {
+            self.vms[vm].pool.advance_to(now);
+        }
+    }
+
+    fn reschedule_cpu(&mut self, vm: usize) {
+        self.vms[vm].pool_gen += 1;
+        let gen = self.vms[vm].pool_gen;
+        if let Some((_, t)) = self.vms[vm].pool.next_completion() {
+            let at = t.max(self.events.now());
+            self.events.push(at, Event::CpuDone { vm, gen });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Deployment, HarvestConfig, VmSpec};
+    use mem_types::GIB;
+
+    fn simple_config(backend: BackendKind, arrivals: Vec<f64>) -> SimConfig {
+        SimConfig {
+            backend,
+            harvest: HarvestConfig::default(),
+            vms: vec![VmSpec {
+                deployments: vec![Deployment {
+                    kind: FunctionKind::Html,
+                    concurrency: 4,
+                    arrivals,
+                }],
+                vcpus: Some(2.0),
+            }],
+            host_capacity: u64::MAX / 2,
+            keepalive_s: 20.0,
+            duration_s: 120.0,
+            sample_period_s: 1.0,
+            unplug_deadline_ms: 5_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn single_request_completes() {
+        for backend in [
+            BackendKind::Static,
+            BackendKind::VirtioMem,
+            BackendKind::Squeezy,
+            BackendKind::HarvestOpts,
+            BackendKind::SqueezySoft,
+        ] {
+            let sim = FaasSim::new(simple_config(backend, vec![1.0])).unwrap();
+            let mut result = sim.run();
+            assert_eq!(result.completed, 1, "{backend:?}");
+            let p99 = result.p99_ms(FunctionKind::Html);
+            assert!(p99 > 0.0, "{backend:?} latency recorded");
+            // Cold start: includes container+function init (~1 s of work).
+            assert!(p99 > 500.0, "{backend:?} cold start visible: {p99} ms");
+        }
+    }
+
+    #[test]
+    fn warm_requests_are_fast() {
+        // Two requests 5 s apart: the second reuses the warm instance.
+        let sim = FaasSim::new(simple_config(BackendKind::Squeezy, vec![1.0, 6.0])).unwrap();
+        let result = sim.run();
+        assert_eq!(result.completed, 2);
+        let m = &result.per_func[&FunctionKind::Html];
+        assert_eq!(m.warm_starts, 1);
+        assert_eq!(m.cold_starts, 1);
+        let warm_latency = m.latency_points[1].1;
+        let cold_latency = m.latency_points[0].1;
+        assert!(
+            warm_latency < cold_latency / 2.0,
+            "warm {warm_latency} ≪ cold {cold_latency}"
+        );
+        // HTML at 0.25 share: 0.055 cpu-s → ≈ 220 ms wall.
+        assert!(warm_latency > 150.0 && warm_latency < 400.0, "{warm_latency}");
+    }
+
+    #[test]
+    fn keepalive_evicts_and_squeezy_reclaims() {
+        let sim = FaasSim::new(simple_config(BackendKind::Squeezy, vec![1.0])).unwrap();
+        let result = sim.run();
+        let r = result.total_reclaims();
+        assert_eq!(r.ops, 1, "one eviction-driven reclaim");
+        assert!(r.bytes >= 768 << 20, "whole partition unplugged");
+        assert_eq!(r.pages_migrated, 0, "Squeezy never migrates");
+    }
+
+    #[test]
+    fn virtio_reclaim_migrates_under_colocation() {
+        // Two staggered instances: the second keeps running while the
+        // first is evicted, so its pages interleave with the victim's
+        // blocks and must be migrated.
+        let sim = FaasSim::new(simple_config(
+            BackendKind::VirtioMem,
+            vec![1.0, 1.1, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 60.0],
+        ))
+        .unwrap();
+        let result = sim.run();
+        assert!(result.completed >= 9);
+        let r = result.total_reclaims();
+        assert!(r.ops >= 1);
+        assert!(
+            r.pages_migrated > 0,
+            "vanilla virtio-mem migrates interleaved pages"
+        );
+    }
+
+    #[test]
+    fn squeezy_reclaim_throughput_beats_virtio() {
+        let arrivals: Vec<f64> = vec![1.0, 1.05, 1.1, 1.15]; // 4 concurrent cold starts
+        let sq = FaasSim::new(simple_config(BackendKind::Squeezy, arrivals.clone()))
+            .unwrap()
+            .run();
+        let vt = FaasSim::new(simple_config(BackendKind::VirtioMem, arrivals))
+            .unwrap()
+            .run();
+        let sq_tp = sq.total_reclaims().throughput_mibs();
+        let vt_tp = vt.total_reclaims().throughput_mibs();
+        assert!(sq_tp > 0.0 && vt_tp > 0.0);
+        assert!(
+            sq_tp > 2.0 * vt_tp,
+            "Squeezy throughput {sq_tp:.0} MiB/s ≫ virtio {vt_tp:.0} MiB/s"
+        );
+    }
+
+    #[test]
+    fn static_backend_never_releases_host_memory() {
+        let sim = FaasSim::new(simple_config(BackendKind::Static, vec![1.0])).unwrap();
+        let result = sim.run();
+        assert_eq!(result.total_reclaims().ops, 0);
+        // Host usage never decreases (Figure 1's flat host line).
+        let pts = result.host_usage.points();
+        let peak = result.host_usage.max_value();
+        let last = pts.last().unwrap().1;
+        assert_eq!(last, peak, "host memory stays at peak");
+    }
+
+    #[test]
+    fn concurrency_limit_caps_instances() {
+        // 10 simultaneous arrivals but concurrency 4.
+        let arrivals: Vec<f64> = (0..10).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let sim = FaasSim::new(simple_config(BackendKind::Squeezy, arrivals)).unwrap();
+        let result = sim.run();
+        assert_eq!(result.completed, 10, "all requests eventually served");
+        let peak_instances = result.instance_counts[0].max_value();
+        assert!(peak_instances <= 4.0, "peak {peak_instances} ≤ N");
+    }
+
+    #[test]
+    fn restricted_host_forces_evictions() {
+        // Host fits the VM boot + ~2 instances; 4 sequential bursts force
+        // evict-to-scale cycles.
+        let mut cfg = simple_config(BackendKind::Squeezy, vec![1.0, 1.05, 80.0, 80.05]);
+        cfg.keepalive_s = 10.0;
+        cfg.host_capacity = 3 * GIB;
+        let sim = FaasSim::new(cfg).unwrap();
+        let result = sim.run();
+        assert_eq!(result.completed, 4, "all served despite pressure");
+    }
+
+    #[test]
+    fn soft_backend_revokes_idle_memory_under_pressure() {
+        // Two co-resident deployments on a tight host: when the second
+        // function's burst arrives, the first function's idle instances
+        // donate their partitions via soft revocation instead of dying.
+        let mut cfg = SimConfig {
+            backend: BackendKind::SqueezySoft,
+            harvest: HarvestConfig::default(),
+            vms: vec![VmSpec {
+                deployments: vec![
+                    Deployment {
+                        kind: FunctionKind::Html,
+                        concurrency: 2,
+                        arrivals: vec![1.0, 1.05],
+                    },
+                    Deployment {
+                        kind: FunctionKind::Html,
+                        concurrency: 2,
+                        arrivals: vec![40.0, 40.05],
+                    },
+                ],
+                vcpus: Some(2.0),
+            }],
+            host_capacity: 4 * GIB + 512 * (1 << 20),
+            keepalive_s: 300.0, // Longer than the run: no evictions.
+            duration_s: 120.0,
+            sample_period_s: 1.0,
+            unplug_deadline_ms: 5_000,
+            seed: 1,
+        };
+        // Calibrate the host so the second burst cannot fit without
+        // reclaiming the first burst's idle memory.
+        cfg.host_capacity = 3 * GIB;
+        let sim = FaasSim::new(cfg).unwrap();
+        let result = sim.run();
+        assert_eq!(result.completed, 4, "all served under pressure");
+        let r = result.total_reclaims();
+        assert!(r.ops >= 1, "soft revocations reclaimed idle memory");
+        assert_eq!(r.pages_migrated, 0, "revocation is migration-free");
+    }
+
+    #[test]
+    fn soft_backend_rebuilds_hollow_instances() {
+        // Same function, two bursts; pressure between them revokes the
+        // idle instances, and the second burst rebuilds them (soft-cold
+        // start) rather than paying full cold starts.
+        let mut cfg = simple_config(
+            BackendKind::SqueezySoft,
+            vec![1.0, 1.05, 60.0, 60.05],
+        );
+        cfg.keepalive_s = 300.0;
+        cfg.host_capacity = 3 * GIB;
+        let sim = FaasSim::new(cfg).unwrap();
+        let result = sim.run();
+        assert_eq!(result.completed, 4);
+        let m = &result.per_func[&FunctionKind::Html];
+        // The second burst found the instances alive (hollow or warm):
+        // at most the two initial cold starts are full ones.
+        assert_eq!(m.cold_starts + m.warm_starts, 4);
+    }
+
+    #[test]
+    fn soft_backend_without_pressure_behaves_like_squeezy() {
+        let soft = FaasSim::new(simple_config(BackendKind::SqueezySoft, vec![1.0, 6.0]))
+            .unwrap()
+            .run();
+        let base = FaasSim::new(simple_config(BackendKind::Squeezy, vec![1.0, 6.0]))
+            .unwrap()
+            .run();
+        assert_eq!(soft.completed, base.completed);
+        let ls = soft.per_func[&FunctionKind::Html].latency_points[1].1;
+        let lb = base.per_func[&FunctionKind::Html].latency_points[1].1;
+        let ratio = ls / lb;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "warm path unchanged: {ls} vs {lb}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = FaasSim::new(simple_config(BackendKind::VirtioMem, vec![1.0, 2.0, 3.0]))
+            .unwrap()
+            .run();
+        let b = FaasSim::new(simple_config(BackendKind::VirtioMem, vec![1.0, 2.0, 3.0]))
+            .unwrap()
+            .run();
+        assert_eq!(a.completed, b.completed);
+        let la: Vec<_> = a.per_func[&FunctionKind::Html]
+            .latency_points
+            .iter()
+            .map(|&(_, l)| l.to_bits())
+            .collect();
+        let lb: Vec<_> = b.per_func[&FunctionKind::Html]
+            .latency_points
+            .iter()
+            .map(|&(_, l)| l.to_bits())
+            .collect();
+        assert_eq!(la, lb);
+    }
+}

@@ -1,0 +1,1428 @@
+//! A guest-kernel memory-manager simulator.
+//!
+//! This crate reimplements, over simulated state, the slice of the Linux
+//! physical memory manager that the Squeezy paper patches and measures:
+//!
+//! * a per-frame `memmap` ([`memmap::MemMap`]);
+//! * zones with buddy free lists ([`zone::Zone`]) — `ZONE_NORMAL`,
+//!   `ZONE_MOVABLE`, and (created by the `squeezy` crate) one zone per
+//!   Squeezy partition;
+//! * the 128 MiB memory-block hot(un)plug state machine
+//!   ([`blocks::BlockTable`]): hot-add → online → offline → hot-remove;
+//! * the on-demand fault path that lazily backs process and page-cache
+//!   memory, interleaving footprints across blocks exactly as §2.2 and
+//!   Figure 3 describe;
+//! * offline-with-migration: isolating a block's free pages, migrating
+//!   its occupied movable pages elsewhere, and the zeroing that
+//!   `init_on_alloc=1` hardening incurs along the way.
+//!
+//! The crate is purely *mechanical*: it mutates state and returns
+//! operation counts ([`OfflineOutcome`], fault results). Devices and the
+//! VMM translate counts into simulated time using
+//! [`sim_core::CostModel`](../sim_core/cost/struct.CostModel.html), which
+//! keeps mechanism and calibration apart.
+
+pub mod blocks;
+pub mod huge;
+pub mod memmap;
+pub mod page;
+pub mod pagecache;
+pub mod process;
+pub mod zone;
+
+use std::collections::HashMap;
+
+use mem_types::{bytes_to_pages, BlockId, FrameRange, Gfn, PAGES_PER_BLOCK, PAGE_SIZE};
+
+pub use blocks::{BlockState, BlockTable};
+pub use huge::HugeFaultOutcome;
+pub use memmap::MemMap;
+pub use page::{PageDesc, PageState, HUGE_ORDER, MAX_ORDER, PAGES_PER_HUGE};
+pub use pagecache::{CachedFile, FileId};
+pub use process::{AllocPolicy, Pid, Process};
+pub use zone::{Zone, ZoneKind};
+
+/// Errors returned by memory-manager operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MmError {
+    /// No zone in the allocation path could satisfy the request.
+    OutOfMemory,
+    /// The process id is unknown (or already exited).
+    NoSuchProcess,
+    /// The file id is unknown.
+    NoSuchFile,
+    /// The block is not in the state the operation requires.
+    BadBlockState,
+    /// The block holds unmovable (kernel) pages and cannot be offlined.
+    BlockPinned,
+    /// The block still holds used pages (instant offline requires empty).
+    BlockNotEmpty,
+    /// The page is not owned by the given process/file as claimed.
+    NotOwner,
+}
+
+impl core::fmt::Display for MmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            MmError::OutOfMemory => "out of memory",
+            MmError::NoSuchProcess => "no such process",
+            MmError::NoSuchFile => "no such file",
+            MmError::BadBlockState => "bad memory-block state",
+            MmError::BlockPinned => "block pinned by unmovable pages",
+            MmError::BlockNotEmpty => "block not empty",
+            MmError::NotOwner => "page not owned as claimed",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MmError {}
+
+/// How the unplug path picks blocks to offline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CandidateStrategy {
+    /// virtio-mem default: unplug from the highest block address down.
+    HighestFirst,
+    /// Optimization ablation: prefer blocks with the fewest used pages
+    /// (fewest migrations).
+    EmptiestFirst,
+}
+
+/// Counts produced by offlining one block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OfflineOutcome {
+    /// Pages examined while scanning/isolating the block.
+    pub scanned: u64,
+    /// Free pages isolated straight out of the buddy.
+    pub isolated_free: u64,
+    /// Occupied movable base pages migrated out of the block
+    /// (including base pages produced by huge-page splits).
+    pub migrated: u64,
+    /// 2 MiB huge pages migrated whole to an order-9 target.
+    pub migrated_huge: u64,
+    /// Huge pages split into base pages for lack of an order-9 target.
+    pub huge_splits: u64,
+    /// Pages zeroed by `init_on_alloc` hardening along the way
+    /// (isolation pseudo-allocations + migration-target allocations).
+    pub zeroed: u64,
+}
+
+impl OfflineOutcome {
+    /// Accumulates another outcome into this one.
+    pub fn accumulate(&mut self, o: &OfflineOutcome) {
+        self.scanned += o.scanned;
+        self.isolated_free += o.isolated_free;
+        self.migrated += o.migrated;
+        self.migrated_huge += o.migrated_huge;
+        self.huge_splits += o.huge_splits;
+        self.zeroed += o.zeroed;
+    }
+}
+
+/// A failed offline attempt, with the work wasted before the failure.
+///
+/// The wasted scans/migrations/zeroings still cost CPU time — the paper's
+/// virtio-mem timeouts (§6.2.2) burn cycles exactly this way — so callers
+/// need the partial counts to charge them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OfflineFailure {
+    /// Why the offline failed.
+    pub error: MmError,
+    /// Work performed (and rolled back) before failing.
+    pub partial: OfflineOutcome,
+}
+
+/// Result of a file fault: how much was already cached vs. newly read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileFaultOutcome {
+    /// Pages newly allocated and read from storage.
+    pub new_pages: u64,
+    /// Pages that were already resident (page-cache hits).
+    pub cached_pages: u64,
+}
+
+/// Cumulative mechanical statistics (monotonic counters).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MmStats {
+    /// Anonymous pages ever faulted in (4 KiB units; huge faults add 512).
+    pub anon_faults: u64,
+    /// File pages ever faulted in (cache misses).
+    pub file_faults: u64,
+    /// Pages migrated by offline operations.
+    pub pages_migrated: u64,
+    /// Pages zeroed on the offline path.
+    pub pages_zeroed: u64,
+    /// Blocks onlined.
+    pub blocks_onlined: u64,
+    /// Blocks offlined.
+    pub blocks_offlined: u64,
+    /// Offline attempts that failed (rolled back).
+    pub offline_failures: u64,
+    /// Huge pages successfully faulted as 2 MiB mappings.
+    pub huge_faults: u64,
+    /// Huge fault requests that fell back to base pages (fragmentation).
+    pub huge_fallbacks: u64,
+    /// Huge pages migrated whole by offline operations.
+    pub huge_migrated: u64,
+    /// Huge pages split by offline operations.
+    pub huge_splits: u64,
+    /// Pages swapped out to the host swap device.
+    pub swap_outs: u64,
+    /// Pages swapped back in (major faults).
+    pub swap_ins: u64,
+}
+
+/// Static configuration of a guest's memory layout.
+#[derive(Clone, Copy, Debug)]
+pub struct GuestMmConfig {
+    /// Boot (non-hotpluggable) memory, onlined to `ZONE_NORMAL`.
+    pub boot_bytes: u64,
+    /// Size of the hot-pluggable device region after boot memory.
+    pub hotplug_bytes: u64,
+    /// Unmovable kernel footprint carved out of boot memory at boot.
+    pub kernel_bytes: u64,
+    /// `CONFIG_INIT_ON_ALLOC_DEFAULT_ON`: zero pages on allocation (§2.2).
+    pub init_on_alloc: bool,
+}
+
+impl Default for GuestMmConfig {
+    fn default() -> Self {
+        GuestMmConfig {
+            boot_bytes: 2 * 1024 * 1024 * 1024,
+            hotplug_bytes: 8 * 1024 * 1024 * 1024,
+            kernel_bytes: 192 * 1024 * 1024,
+            init_on_alloc: true,
+        }
+    }
+}
+
+/// Zone index of `ZONE_NORMAL` (always created at boot).
+pub const ZONE_NORMAL: u8 = 0;
+/// Zone index of `ZONE_MOVABLE` (always created at boot).
+pub const ZONE_MOVABLE: u8 = 1;
+
+/// The guest kernel memory manager.
+pub struct GuestMm {
+    config: GuestMmConfig,
+    memmap: MemMap,
+    zones: Vec<Zone>,
+    blocks: BlockTable,
+    procs: HashMap<u32, Process>,
+    files: HashMap<u32, CachedFile>,
+    kernel_pages: Vec<Gfn>,
+    next_pid: u32,
+    /// Policy used for page-cache allocations (Squeezy redirects this to
+    /// the shared partition).
+    file_policy: AllocPolicy,
+    /// Squeezy's allocator fix: skip `init_on_alloc` zeroing for pages
+    /// the hot-unplug path is about to pull out (§4.1).
+    pub unplug_aware_zeroing_skip: bool,
+    stats: MmStats,
+}
+
+impl GuestMm {
+    /// Boots a guest memory manager with the given layout.
+    ///
+    /// Boot memory is onlined to `ZONE_NORMAL` immediately (minus the
+    /// kernel's own unmovable footprint); the hotplug region starts
+    /// absent and is populated by hot-add/online calls from the device
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not 128 MiB block-aligned or the kernel
+    /// footprint exceeds boot memory.
+    pub fn new(config: GuestMmConfig) -> Self {
+        let boot_blocks = mem_types::bytes_to_blocks(config.boot_bytes);
+        let hotplug_blocks = mem_types::bytes_to_blocks(config.hotplug_bytes);
+        assert!(
+            config.kernel_bytes <= config.boot_bytes,
+            "kernel footprint exceeds boot memory"
+        );
+        let total_frames = (boot_blocks + hotplug_blocks) * PAGES_PER_BLOCK;
+        let boot_frames = boot_blocks * PAGES_PER_BLOCK;
+
+        let mut mm = GuestMm {
+            config,
+            memmap: MemMap::new(total_frames),
+            zones: vec![
+                Zone::new(
+                    ZONE_NORMAL,
+                    ZoneKind::Normal,
+                    FrameRange::new(Gfn(0), boot_frames),
+                ),
+                Zone::new(
+                    ZONE_MOVABLE,
+                    ZoneKind::Movable,
+                    FrameRange::new(Gfn(boot_frames), hotplug_blocks * PAGES_PER_BLOCK),
+                ),
+            ],
+            blocks: BlockTable::new(boot_blocks + hotplug_blocks),
+            procs: HashMap::new(),
+            files: HashMap::new(),
+            kernel_pages: Vec::new(),
+            next_pid: 1,
+            file_policy: AllocPolicy::MovableDefault,
+            unplug_aware_zeroing_skip: false,
+            stats: MmStats::default(),
+        };
+
+        // Online all boot blocks into ZONE_NORMAL.
+        for b in 0..boot_blocks {
+            let blk = BlockId(b);
+            mm.pages_to_offline_state(blk);
+            mm.blocks.set_state(blk, BlockState::AddedOffline);
+            mm.online_block(blk, ZONE_NORMAL)
+                .expect("boot block onlines");
+        }
+        mm.stats.blocks_onlined = 0; // Boot onlining is not a hotplug op.
+
+        // Reserve the kernel's unmovable footprint.
+        let kpages = bytes_to_pages(config.kernel_bytes);
+        for _ in 0..kpages {
+            let g = mm
+                .alloc_from_zonelist(&[ZONE_NORMAL])
+                .expect("boot memory fits the kernel");
+            mm.claim(g, PageState::Kernel, 0, mm.kernel_pages.len() as u32);
+            mm.kernel_pages.push(g);
+        }
+        mm
+    }
+
+    // --- Accessors -------------------------------------------------------
+
+    /// Returns the boot configuration.
+    pub fn config(&self) -> &GuestMmConfig {
+        &self.config
+    }
+
+    /// Returns the cumulative statistics.
+    pub fn stats(&self) -> &MmStats {
+        &self.stats
+    }
+
+    /// Returns the zone with index `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone does not exist.
+    pub fn zone(&self, z: u8) -> &Zone {
+        &self.zones[z as usize]
+    }
+
+    /// Returns the number of zones.
+    pub fn zone_count(&self) -> u8 {
+        self.zones.len() as u8
+    }
+
+    /// Returns the block table.
+    pub fn blocks(&self) -> &BlockTable {
+        &self.blocks
+    }
+
+    /// Returns the memory map (tests and invariant checks).
+    pub fn memmap(&self) -> &MemMap {
+        &self.memmap
+    }
+
+    /// Returns the process with id `pid`, if alive.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid.0)
+    }
+
+    /// Returns a file's cached pages, if any.
+    pub fn file(&self, f: FileId) -> Option<&CachedFile> {
+        self.files.get(&f.0)
+    }
+
+    /// Returns the kernel's boot-time unmovable pages (the VMM populates
+    /// their host backing during guest boot).
+    pub fn kernel_pages(&self) -> &[Gfn] {
+        &self.kernel_pages
+    }
+
+    /// Total bytes currently used (allocated) across all zones.
+    pub fn used_bytes(&self) -> u64 {
+        self.zones.iter().map(|z| z.used_pages()).sum::<u64>() * PAGE_SIZE
+    }
+
+    /// Total bytes currently free across all zones.
+    pub fn free_bytes(&self) -> u64 {
+        self.zones.iter().map(|z| z.free_pages).sum::<u64>() * PAGE_SIZE
+    }
+
+    /// Total bytes present (onlined) across all zones.
+    pub fn present_bytes(&self) -> u64 {
+        self.zones.iter().map(|z| z.managed_pages).sum::<u64>() * PAGE_SIZE
+    }
+
+    /// Sets the allocation policy for page-cache (file) pages.
+    pub fn set_file_policy(&mut self, p: AllocPolicy) {
+        self.file_policy = p;
+    }
+
+    /// Creates a new zone (used by the Squeezy layer for partitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is not block-aligned, exceeds the address space,
+    /// or more than 254 zones exist.
+    pub fn create_zone(&mut self, kind: ZoneKind, span: FrameRange) -> u8 {
+        assert!(span.start.0.is_multiple_of(PAGES_PER_BLOCK), "span not block-aligned");
+        assert!(span.count.is_multiple_of(PAGES_PER_BLOCK), "span not block-sized");
+        assert!(span.end().0 <= self.memmap.len(), "span beyond memory");
+        let id = u8::try_from(self.zones.len()).expect("zone table full");
+        assert!(id < u8::MAX, "zone table full");
+        self.zones.push(Zone::new(id, kind, span));
+        id
+    }
+
+    /// Re-targets an *empty* zone onto a new span (the flex-partition
+    /// layer recycles zone slots of destroyed partitions this way,
+    /// keeping long create/destroy churn within the 254-zone table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone still manages pages, or if `span` is not
+    /// block-aligned or exceeds the address space.
+    pub fn retarget_zone(&mut self, z: u8, kind: ZoneKind, span: FrameRange) {
+        assert!(span.start.0.is_multiple_of(PAGES_PER_BLOCK), "span not block-aligned");
+        assert!(span.count.is_multiple_of(PAGES_PER_BLOCK), "span not block-sized");
+        assert!(span.end().0 <= self.memmap.len(), "span beyond memory");
+        let zone = &mut self.zones[z as usize];
+        assert_eq!(zone.managed_pages, 0, "retargeting a non-empty zone");
+        assert!(zone.buddy_is_empty(), "retargeting a zone with free pages");
+        *zone = Zone::new(z, kind, span);
+    }
+
+    // --- Process lifecycle ------------------------------------------------
+
+    /// Spawns a process with the given allocation policy.
+    pub fn spawn_process(&mut self, policy: AllocPolicy) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid.0, Process::new(pid, policy));
+        pid
+    }
+
+    /// Changes the allocation policy of a live process (the Squeezy
+    /// syscall binds a process to its partition this way).
+    pub fn set_policy(&mut self, pid: Pid, policy: AllocPolicy) -> Result<(), MmError> {
+        self.procs
+            .get_mut(&pid.0)
+            .map(|p| p.policy = policy)
+            .ok_or(MmError::NoSuchProcess)
+    }
+
+    /// Faults `n` anonymous pages into `pid`'s address space, returning
+    /// the freshly allocated frames (for EPT population by the VMM).
+    ///
+    /// On `Err(OutOfMemory)` the pages allocated before exhaustion remain
+    /// attached to the process — the OOM killer (or caller) decides what
+    /// dies, mirroring §4.1.
+    pub fn fault_anon(&mut self, pid: Pid, n: u64) -> Result<Vec<Gfn>, MmError> {
+        let policy = self
+            .procs
+            .get(&pid.0)
+            .ok_or(MmError::NoSuchProcess)?
+            .policy;
+        let zonelist = self.zonelist_for(policy);
+        let mut got = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            match self.alloc_from_zonelist(&zonelist) {
+                Some(g) => {
+                    let proc = self.procs.get_mut(&pid.0).expect("checked above");
+                    let slot = proc.pages.len() as u32;
+                    proc.pages.push(g);
+                    self.claim(g, PageState::Anon, pid.0, slot);
+                    got.push(g);
+                }
+                None => {
+                    self.stats.anon_faults += got.len() as u64;
+                    return Err(MmError::OutOfMemory);
+                }
+            }
+        }
+        self.stats.anon_faults += n;
+        Ok(got)
+    }
+
+    /// Releases the `n` most recently faulted anonymous pages of `pid`
+    /// (e.g. memhog freeing a chunk). Returns the number actually freed.
+    pub fn free_anon(&mut self, pid: Pid, n: u64) -> Result<u64, MmError> {
+        let mut freed = 0;
+        for _ in 0..n {
+            let Some(g) = self
+                .procs
+                .get_mut(&pid.0)
+                .ok_or(MmError::NoSuchProcess)?
+                .pages
+                .pop()
+            else {
+                break;
+            };
+            self.release_used_page(g);
+            freed += 1;
+        }
+        Ok(freed)
+    }
+
+    /// Releases one specific anonymous page of `pid` (a page-granular
+    /// `munmap`/`MADV_DONTNEED`; fragmentation workloads punch holes with
+    /// this). O(1) via the slot back-reference.
+    pub fn free_anon_page(&mut self, pid: Pid, g: Gfn) -> Result<(), MmError> {
+        let (state, owner, slot) = {
+            let d = self.memmap.page(g);
+            (d.state, d.a, d.b)
+        };
+        if state != PageState::Anon || owner != pid.0 {
+            return Err(MmError::NotOwner);
+        }
+        let proc = self.procs.get_mut(&pid.0).ok_or(MmError::NoSuchProcess)?;
+        debug_assert_eq!(proc.pages[slot as usize], g);
+        proc.pages.swap_remove(slot as usize);
+        if let Some(&moved) = proc.pages.get(slot as usize) {
+            self.memmap.page_mut(moved).b = slot;
+        }
+        self.release_used_page(g);
+        Ok(())
+    }
+
+    /// Swaps out the `n` *oldest* anonymous base pages of `pid` (LRU
+    /// approximation: pages fault in append-order, so the front of the
+    /// set is the coldest). The pages return to the buddy — their data
+    /// now lives host-side in the swap device — and the owner's
+    /// `swapped` count grows. Returns the evicted frames so the VMM can
+    /// release (or repurpose) their host backing.
+    pub fn swap_out_anon(&mut self, pid: Pid, n: u64) -> Result<Vec<Gfn>, MmError> {
+        let proc = self.procs.get_mut(&pid.0).ok_or(MmError::NoSuchProcess)?;
+        let take = (n.min(proc.pages.len() as u64)) as usize;
+        let victims: Vec<Gfn> = proc.pages.drain(..take).collect();
+        proc.swapped += victims.len() as u64;
+        // Draining the front shifted every remaining slot: repair the
+        // back-references.
+        let remaining: Vec<Gfn> = proc.pages.clone();
+        for (slot, g) in remaining.into_iter().enumerate() {
+            self.memmap.page_mut(g).b = slot as u32;
+        }
+        for &g in &victims {
+            self.release_used_page(g);
+        }
+        self.stats.swap_outs += victims.len() as u64;
+        Ok(victims)
+    }
+
+    /// Swaps `n` of `pid`'s pages back in (major faults): fresh pages
+    /// are allocated under the process's policy and its `swapped` count
+    /// shrinks. Returns the frames faulted in, for EPT population.
+    ///
+    /// On `Err(OutOfMemory)` the pages faulted before exhaustion stay
+    /// attached (and counted out of `swapped`), as with
+    /// [`GuestMm::fault_anon`].
+    pub fn swap_in_anon(&mut self, pid: Pid, n: u64) -> Result<Vec<Gfn>, MmError> {
+        let (avail, before) = {
+            let proc = self.procs.get(&pid.0).ok_or(MmError::NoSuchProcess)?;
+            (proc.swapped.min(n), proc.pages.len() as u64)
+        };
+        let result = self.fault_anon(pid, avail);
+        let proc = self.procs.get_mut(&pid.0).expect("checked above");
+        let faulted = proc.pages.len() as u64 - before;
+        proc.swapped -= faulted;
+        self.stats.swap_ins += faulted;
+        result
+    }
+
+    /// Drops `pid`'s whole anonymous resident set (base and huge) while
+    /// keeping the process alive — the guest half of a soft-memory
+    /// revocation (§7: discarding application-controlled soft state or a
+    /// GC'd runtime's unused heap). Returns the number of 4 KiB pages
+    /// freed.
+    pub fn drop_anon(&mut self, pid: Pid) -> Result<u64, MmError> {
+        let proc = self.procs.get_mut(&pid.0).ok_or(MmError::NoSuchProcess)?;
+        let pages = std::mem::take(&mut proc.pages);
+        let huge = std::mem::take(&mut proc.huge_pages);
+        let n = pages.len() as u64 + huge.len() as u64 * PAGES_PER_HUGE;
+        for g in pages {
+            self.release_used_page(g);
+        }
+        for h in huge {
+            self.release_huge(h);
+        }
+        Ok(n)
+    }
+
+    /// Terminates `pid`, freeing its whole anonymous resident set (base
+    /// and huge). Returns the number of 4 KiB pages freed.
+    pub fn exit_process(&mut self, pid: Pid) -> Result<u64, MmError> {
+        let proc = self.procs.remove(&pid.0).ok_or(MmError::NoSuchProcess)?;
+        let n = proc.pages.len() as u64 + proc.huge_pages.len() as u64 * PAGES_PER_HUGE;
+        for g in proc.pages {
+            self.release_used_page(g);
+        }
+        for h in proc.huge_pages {
+            self.release_huge(h);
+        }
+        Ok(n)
+    }
+
+    // --- Page cache -------------------------------------------------------
+
+    /// Faults the first `want_pages` pages of `file` into the cache,
+    /// allocating whatever is not yet resident.
+    pub fn fault_file(
+        &mut self,
+        file: FileId,
+        want_pages: u64,
+    ) -> Result<FileFaultOutcome, MmError> {
+        let resident = self.files.entry(file.0).or_default().pages.len() as u64;
+        let cached = resident.min(want_pages);
+        let missing = want_pages.saturating_sub(resident);
+        if missing == 0 {
+            return Ok(FileFaultOutcome {
+                new_pages: 0,
+                cached_pages: cached,
+            });
+        }
+        let zonelist = self.zonelist_for(self.file_policy);
+        for _ in 0..missing {
+            let g = self
+                .alloc_from_zonelist(&zonelist)
+                .ok_or(MmError::OutOfMemory)?;
+            let entry = self.files.get_mut(&file.0).expect("created above");
+            let slot = entry.pages.len() as u32;
+            entry.pages.push(g);
+            self.claim(g, PageState::File, file.0, slot);
+        }
+        self.stats.file_faults += missing;
+        Ok(FileFaultOutcome {
+            new_pages: missing,
+            cached_pages: cached,
+        })
+    }
+
+    /// Drops every cached page of `file`, returning how many were freed.
+    pub fn drop_file(&mut self, file: FileId) -> Result<u64, MmError> {
+        let f = self.files.remove(&file.0).ok_or(MmError::NoSuchFile)?;
+        let n = f.pages.len() as u64;
+        for g in f.pages {
+            self.release_used_page(g);
+        }
+        Ok(n)
+    }
+
+    // --- Kernel (unmovable) allocations ------------------------------------
+
+    /// Allocates `n` unmovable kernel pages from `ZONE_NORMAL` (pins
+    /// their blocks against offlining).
+    pub fn alloc_kernel(&mut self, n: u64) -> Result<(), MmError> {
+        for _ in 0..n {
+            let g = self
+                .alloc_from_zonelist(&[ZONE_NORMAL])
+                .ok_or(MmError::OutOfMemory)?;
+            self.claim(g, PageState::Kernel, 0, self.kernel_pages.len() as u32);
+            self.kernel_pages.push(g);
+        }
+        Ok(())
+    }
+
+    /// Allocates one unmovable page for a device driver (e.g. the balloon
+    /// inflating). Tries movable zones first like `GFP_HIGHUSER` balloon
+    /// allocations, but the page pins its block either way — one of the
+    /// fragmentation pathologies of ballooning (§2.2).
+    pub fn alloc_unmovable(&mut self) -> Result<Gfn, MmError> {
+        let g = self
+            .alloc_from_zonelist(&[ZONE_MOVABLE, ZONE_NORMAL])
+            .ok_or(MmError::OutOfMemory)?;
+        self.claim(g, PageState::Kernel, u32::MAX, 0);
+        Ok(g)
+    }
+
+    /// Frees a page obtained from [`GuestMm::alloc_unmovable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the page is not an unmovable allocation.
+    pub fn free_unmovable(&mut self, g: Gfn) {
+        debug_assert_eq!(self.memmap.state(g), PageState::Kernel);
+        self.release_used_page(g);
+    }
+
+    // --- Hot(un)plug ---------------------------------------------------------
+
+    /// Hot-adds block `b`: creates its memmap coverage (Absent → offline).
+    pub fn hot_add_block(&mut self, b: BlockId) -> Result<(), MmError> {
+        if self.blocks.state(b) != BlockState::Absent {
+            return Err(MmError::BadBlockState);
+        }
+        self.pages_to_offline_state(b);
+        self.blocks.set_state(b, BlockState::AddedOffline);
+        Ok(())
+    }
+
+    /// Onlines block `b` into zone `z`: releases its pages to the buddy.
+    pub fn online_block(&mut self, b: BlockId, z: u8) -> Result<(), MmError> {
+        if self.blocks.state(b) != BlockState::AddedOffline {
+            return Err(MmError::BadBlockState);
+        }
+        let zone = &self.zones[z as usize];
+        if !zone.span.contains(b.first_frame())
+            || !zone.span.contains(Gfn(b.frames().end().0 - 1))
+        {
+            return Err(MmError::BadBlockState);
+        }
+        let chunk = 1u64 << MAX_ORDER;
+        let start = b.first_frame().0;
+        let zone = &mut self.zones[z as usize];
+        for c in (start..start + PAGES_PER_BLOCK).step_by(chunk as usize) {
+            zone.free_block(&mut self.memmap, Gfn(c), MAX_ORDER);
+        }
+        zone.managed_pages += PAGES_PER_BLOCK;
+        self.blocks.mark_online(b, z);
+        self.stats.blocks_onlined += 1;
+        Ok(())
+    }
+
+    /// Offlines block `b`, migrating its occupied movable pages away.
+    ///
+    /// Fails with [`MmError::BlockPinned`] if unmovable pages live in the
+    /// block, and with [`MmError::OutOfMemory`] (after rolling isolated
+    /// pages back into the buddy) if migration targets run out; the
+    /// failure carries the counts of the wasted work.
+    pub fn offline_block(&mut self, b: BlockId) -> Result<OfflineOutcome, OfflineFailure> {
+        let fail = |error| OfflineFailure {
+            error,
+            partial: OfflineOutcome::default(),
+        };
+        let BlockState::Online { zone } = self.blocks.state(b) else {
+            return Err(fail(MmError::BadBlockState));
+        };
+        if self.blocks.counters(b).used_unmovable > 0 {
+            return Err(fail(MmError::BlockPinned));
+        }
+
+        let mut out = OfflineOutcome {
+            scanned: PAGES_PER_BLOCK,
+            ..OfflineOutcome::default()
+        };
+        let zero_on_isolate = self.config.init_on_alloc && !self.unplug_aware_zeroing_skip;
+
+        // Phase 1: isolate every free page of the block out of the buddy
+        // so nothing new is allocated inside it.
+        let frames = b.frames();
+        let mut used: Vec<Gfn> = Vec::new();
+        let mut used_huge: Vec<Gfn> = Vec::new();
+        for g in frames.iter() {
+            match self.memmap.state(g) {
+                s if s.is_free() => {
+                    self.zones[zone as usize].take_free_page(&mut self.memmap, g);
+                    self.memmap.page_mut(g).state = PageState::Isolated;
+                    let c = self.blocks.counters_mut(b);
+                    c.free -= 1;
+                    c.isolated += 1;
+                    out.isolated_free += 1;
+                    if zero_on_isolate {
+                        out.zeroed += 1;
+                    }
+                }
+                PageState::HugeHead => used_huge.push(g),
+                // Tails are handled with their head (heads come first in
+                // the ascending scan).
+                PageState::HugeTail => {}
+                s if s.is_movable() => used.push(g),
+                PageState::Kernel => {
+                    self.rollback_isolation(b, zone);
+                    return Err(OfflineFailure {
+                        error: MmError::BlockPinned,
+                        partial: out,
+                    });
+                }
+                _ => {
+                    self.rollback_isolation(b, zone);
+                    return Err(OfflineFailure {
+                        error: MmError::BadBlockState,
+                        partial: out,
+                    });
+                }
+            }
+        }
+
+        // Phase 2a: evacuate huge pages — whole-unit migration when an
+        // order-9 target exists, split into base pages otherwise (the
+        // split pages join the base migration list below).
+        for h in used_huge {
+            match self.evacuate_huge(h) {
+                huge::HugeEvacuation::Whole => {
+                    out.migrated_huge += 1;
+                    // The order-9 target allocation is zeroed by
+                    // init_on_alloc before the copy, like base targets.
+                    if zero_on_isolate {
+                        out.zeroed += PAGES_PER_HUGE;
+                    }
+                }
+                huge::HugeEvacuation::Split => {
+                    out.huge_splits += 1;
+                    used.extend((h.0..h.0 + PAGES_PER_HUGE).map(Gfn));
+                }
+            }
+        }
+
+        // Phase 2b: migrate the occupied movable base pages elsewhere.
+        for g in used {
+            match self.migrate_page(g, b) {
+                Ok(()) => {
+                    out.migrated += 1;
+                    // Migration target allocation is zeroed by
+                    // init_on_alloc before the copy overwrites it — the
+                    // waste §2.2 calls out.
+                    if zero_on_isolate {
+                        out.zeroed += 1;
+                    }
+                }
+                Err(e) => {
+                    // Roll isolated pages back into the buddy; pages that
+                    // already migrated stay migrated (partial progress,
+                    // as in the kernel).
+                    self.rollback_isolation(b, zone);
+                    self.stats.offline_failures += 1;
+                    self.stats.pages_migrated += out.migrated;
+                    self.stats.pages_zeroed += out.zeroed;
+                    return Err(OfflineFailure {
+                        error: e,
+                        partial: out,
+                    });
+                }
+            }
+        }
+
+        // Phase 3: the block is fully isolated; take it offline.
+        self.finish_offline(b, zone);
+        self.stats.blocks_offlined += 1;
+        self.stats.pages_migrated += out.migrated;
+        self.stats.pages_zeroed += out.zeroed;
+        Ok(out)
+    }
+
+    /// Squeezy's fast path: offline a block that is *known empty* (no
+    /// used pages), isolating its free pages without any migration and —
+    /// with the allocator fix — without zeroing.
+    pub fn offline_block_instant(&mut self, b: BlockId) -> Result<OfflineOutcome, MmError> {
+        let BlockState::Online { zone } = self.blocks.state(b) else {
+            return Err(MmError::BadBlockState);
+        };
+        let c = self.blocks.counters(b);
+        if c.used_movable > 0 || c.used_unmovable > 0 {
+            return Err(MmError::BlockNotEmpty);
+        }
+        let mut out = OfflineOutcome::default();
+        for g in b.frames().iter() {
+            debug_assert!(self.memmap.state(g).is_free());
+            self.zones[zone as usize].take_free_page(&mut self.memmap, g);
+            self.memmap.page_mut(g).state = PageState::Isolated;
+            out.isolated_free += 1;
+        }
+        if self.config.init_on_alloc && !self.unplug_aware_zeroing_skip {
+            out.zeroed = out.isolated_free;
+            self.stats.pages_zeroed += out.zeroed;
+        }
+        {
+            let c = self.blocks.counters_mut(b);
+            c.isolated += c.free;
+            c.free = 0;
+        }
+        self.finish_offline(b, zone);
+        self.stats.blocks_offlined += 1;
+        Ok(out)
+    }
+
+    /// Hot-removes block `b` (offline → absent), destroying its memmap.
+    pub fn hot_remove_block(&mut self, b: BlockId) -> Result<(), MmError> {
+        if self.blocks.state(b) != BlockState::AddedOffline {
+            return Err(MmError::BadBlockState);
+        }
+        for g in b.frames().iter() {
+            *self.memmap.page_mut(g) = PageDesc::ABSENT;
+        }
+        self.blocks.set_state(b, BlockState::Absent);
+        self.blocks.reset_counters(b);
+        Ok(())
+    }
+
+    /// Returns the head frames of every free buddy chunk of order at
+    /// least `min_order` across all zones, in address order — the scan a
+    /// free-page-reporting cycle performs.
+    pub fn free_chunks(&self, min_order: u8) -> Vec<(Gfn, u8)> {
+        let mut out: Vec<(Gfn, u8)> = self
+            .zones
+            .iter()
+            .flat_map(|z| z.free_chunks(&self.memmap, min_order))
+            .collect();
+        out.sort_unstable_by_key(|&(g, _)| g.0);
+        out
+    }
+
+    /// Returns up to `n` offline candidates in zone `z` under `strategy`.
+    ///
+    /// Blocks pinned by unmovable pages are skipped, mirroring the
+    /// kernel's movability checks.
+    pub fn offline_candidates(
+        &self,
+        z: u8,
+        n: usize,
+        strategy: CandidateStrategy,
+    ) -> Vec<BlockId> {
+        let mut cands: Vec<BlockId> = self
+            .blocks
+            .online_in_zone(z)
+            .filter(|&b| self.blocks.counters(b).used_unmovable == 0)
+            .collect();
+        match strategy {
+            CandidateStrategy::HighestFirst => cands.reverse(),
+            CandidateStrategy::EmptiestFirst => {
+                cands.sort_by_key(|&b| self.blocks.counters(b).used_movable)
+            }
+        }
+        cands.truncate(n);
+        cands
+    }
+
+    // --- Internals ----------------------------------------------------------
+
+    /// Orders zones to try for a given policy.
+    fn zonelist_for(&self, policy: AllocPolicy) -> Vec<u8> {
+        match policy {
+            AllocPolicy::MovableDefault => vec![ZONE_MOVABLE, ZONE_NORMAL],
+            AllocPolicy::PinnedZone(z) => vec![z],
+        }
+    }
+
+    /// Allocates one order-0 page from the first zone that can serve it.
+    fn alloc_from_zonelist(&mut self, zonelist: &[u8]) -> Option<Gfn> {
+        for &z in zonelist {
+            if let Some(g) = self.zones[z as usize].alloc_block(&mut self.memmap, 0) {
+                return Some(g);
+            }
+        }
+        None
+    }
+
+    /// Claims a freshly allocated page (state `FreeTail`, already out of
+    /// the buddy) for a user, updating block counters.
+    fn claim(&mut self, g: Gfn, state: PageState, owner: u32, slot: u32) {
+        debug_assert_eq!(self.memmap.state(g), PageState::FreeTail);
+        {
+            let d = self.memmap.page_mut(g);
+            d.state = state;
+            d.a = owner;
+            d.b = slot;
+        }
+        let c = self.blocks.counters_mut(g.block());
+        c.free -= 1;
+        match state {
+            PageState::Anon | PageState::File => c.used_movable += 1,
+            PageState::Kernel => c.used_unmovable += 1,
+            _ => unreachable!("claim called with non-used state"),
+        }
+    }
+
+    /// Frees a used page back to its zone's buddy, updating counters.
+    fn release_used_page(&mut self, g: Gfn) {
+        let (state, zone) = {
+            let d = self.memmap.page(g);
+            (d.state, d.zone)
+        };
+        debug_assert!(state.is_used(), "releasing non-used page {g:?}");
+        let c = self.blocks.counters_mut(g.block());
+        match state {
+            PageState::Anon | PageState::File => c.used_movable -= 1,
+            PageState::Kernel => c.used_unmovable -= 1,
+            _ => unreachable!(),
+        }
+        c.free += 1;
+        self.zones[zone as usize].free_block(&mut self.memmap, g, 0);
+    }
+
+    /// Migrates used movable page `g` (inside offlining block `from`) to
+    /// a target page outside it, patching the owner's bookkeeping.
+    fn migrate_page(&mut self, g: Gfn, from: BlockId) -> Result<(), MmError> {
+        let (state, zone, owner, slot) = {
+            let d = self.memmap.page(g);
+            (d.state, d.zone, d.a, d.b)
+        };
+        debug_assert!(state.is_movable());
+        // Allocation order mirrors the kernel's migration-target
+        // selection: same zone first, then the remaining fallbacks.
+        let mut zonelist = vec![zone];
+        if zone != ZONE_MOVABLE {
+            zonelist.push(ZONE_MOVABLE);
+        }
+        if zone != ZONE_NORMAL {
+            zonelist.push(ZONE_NORMAL);
+        }
+        let target = self
+            .alloc_from_zonelist(&zonelist)
+            .ok_or(MmError::OutOfMemory)?;
+        debug_assert_ne!(target.block(), from, "isolation left frees behind");
+        self.claim(target, state, owner, slot);
+        // Patch the owner's bookkeeping.
+        match state {
+            PageState::Anon => {
+                let p = self
+                    .procs
+                    .get_mut(&owner)
+                    .expect("anon page owned by live process");
+                p.pages[slot as usize] = target;
+            }
+            PageState::File => {
+                let f = self
+                    .files
+                    .get_mut(&owner)
+                    .expect("file page owned by cached file");
+                f.pages[slot as usize] = target;
+            }
+            _ => unreachable!(),
+        }
+        // Source page joins the isolated set.
+        self.memmap.page_mut(g).state = PageState::Isolated;
+        let c = self.blocks.counters_mut(from);
+        c.used_movable -= 1;
+        c.isolated += 1;
+        Ok(())
+    }
+
+    /// Returns all isolated pages of `b` to the buddy (offline failure).
+    fn rollback_isolation(&mut self, b: BlockId, zone: u8) {
+        for g in b.frames().iter() {
+            if self.memmap.state(g) == PageState::Isolated {
+                let c = self.blocks.counters_mut(b);
+                c.isolated -= 1;
+                c.free += 1;
+                self.zones[zone as usize].free_block(&mut self.memmap, g, 0);
+            }
+        }
+    }
+
+    /// Completes an offline: all pages isolated → offline state.
+    fn finish_offline(&mut self, b: BlockId, zone: u8) {
+        debug_assert_eq!(self.blocks.counters(b).isolated as u64, PAGES_PER_BLOCK);
+        for g in b.frames().iter() {
+            debug_assert_eq!(self.memmap.state(g), PageState::Isolated);
+            let d = self.memmap.page_mut(g);
+            d.state = PageState::Offline;
+            d.zone = page::NO_ZONE;
+        }
+        self.zones[zone as usize].managed_pages -= PAGES_PER_BLOCK;
+        self.blocks.set_state(b, BlockState::AddedOffline);
+        self.blocks.reset_counters(b);
+    }
+
+    /// Initializes memmap coverage for `b` (pages → Offline state).
+    fn pages_to_offline_state(&mut self, b: BlockId) {
+        for g in b.frames().iter() {
+            let d = self.memmap.page_mut(g);
+            d.state = PageState::Offline;
+            d.zone = page::NO_ZONE;
+        }
+    }
+
+    /// Debug validation of all zones' free lists, block counters and
+    /// huge-page structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    pub fn assert_consistent(&self) {
+        for z in &self.zones {
+            z.assert_consistent(&self.memmap);
+        }
+        for bi in 0..self.blocks.len() {
+            let b = BlockId(bi);
+            let c = self.blocks.counters(b);
+            if let BlockState::Online { .. } = self.blocks.state(b) {
+                assert_eq!(c.total(), PAGES_PER_BLOCK, "block {bi} counters drifted");
+                let free = self.memmap.count_in(b.frames(), |p| p.state.is_free());
+                assert_eq!(free, c.free as u64, "block {bi} free count drifted");
+            }
+        }
+        // Huge-page structure: heads 512-aligned, exactly 511 tails each,
+        // no orphan tails.
+        let mut tails_expected = 0u64;
+        for i in 0..self.memmap.len() {
+            let g = Gfn(i);
+            match self.memmap.state(g) {
+                PageState::HugeHead => {
+                    assert_eq!(tails_expected, 0, "head {i:#x} inside another huge page");
+                    assert_eq!(i % PAGES_PER_HUGE, 0, "huge head {i:#x} misaligned");
+                    tails_expected = PAGES_PER_HUGE - 1;
+                }
+                PageState::HugeTail => {
+                    assert!(tails_expected > 0, "orphan huge tail at {i:#x}");
+                    tails_expected -= 1;
+                }
+                _ => {
+                    assert_eq!(tails_expected, 0, "huge page truncated before {i:#x}");
+                }
+            }
+        }
+        assert_eq!(tails_expected, 0, "huge page truncated at end of memory");
+        // Owner back-references of huge sets.
+        for proc in self.procs.values() {
+            for (slot, &h) in proc.huge_pages.iter().enumerate() {
+                let d = self.memmap.page(h);
+                assert_eq!(d.state, PageState::HugeHead, "huge set entry not a head");
+                assert_eq!(d.a, proc.pid.0, "huge page owner drifted");
+                assert_eq!(d.b as usize, slot, "huge page slot drifted");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_types::MIB;
+
+    fn small_config() -> GuestMmConfig {
+        GuestMmConfig {
+            boot_bytes: 256 * MIB,
+            hotplug_bytes: 512 * MIB,
+            kernel_bytes: 32 * MIB,
+            init_on_alloc: true,
+        }
+    }
+
+    #[test]
+    fn boot_reserves_kernel_and_onlines_normal() {
+        let mm = GuestMm::new(small_config());
+        assert_eq!(mm.present_bytes(), 256 * MIB);
+        assert_eq!(mm.used_bytes(), 32 * MIB);
+        assert_eq!(mm.zone(ZONE_NORMAL).managed_pages, 256 * MIB / PAGE_SIZE);
+        assert_eq!(mm.zone(ZONE_MOVABLE).managed_pages, 0);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn anon_fault_allocates_and_exit_frees() {
+        let mut mm = GuestMm::new(small_config());
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        let used0 = mm.used_bytes();
+        let got = mm.fault_anon(pid, 100).unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(mm.used_bytes(), used0 + 100 * PAGE_SIZE);
+        assert_eq!(mm.process(pid).unwrap().rss_pages(), 100);
+        mm.assert_consistent();
+        let freed = mm.exit_process(pid).unwrap();
+        assert_eq!(freed, 100);
+        assert_eq!(mm.used_bytes(), used0);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn fault_falls_back_to_normal_when_movable_empty() {
+        let mut mm = GuestMm::new(small_config());
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        // ZONE_MOVABLE has no present pages yet; allocation must come
+        // from ZONE_NORMAL.
+        let got = mm.fault_anon(pid, 1).unwrap();
+        assert_eq!(mm.memmap().page(got[0]).zone, ZONE_NORMAL);
+    }
+
+    #[test]
+    fn free_anon_lifo() {
+        let mut mm = GuestMm::new(small_config());
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        mm.fault_anon(pid, 10).unwrap();
+        assert_eq!(mm.free_anon(pid, 4).unwrap(), 4);
+        assert_eq!(mm.process(pid).unwrap().rss_pages(), 6);
+        // Freeing more than resident frees what is there.
+        assert_eq!(mm.free_anon(pid, 100).unwrap(), 6);
+        assert_eq!(mm.process(pid).unwrap().rss_pages(), 0);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn hotplug_lifecycle() {
+        let mut mm = GuestMm::new(small_config());
+        let first_hot = BlockId(2); // Boot covers blocks 0..2.
+        assert_eq!(mm.blocks().state(first_hot), BlockState::Absent);
+
+        mm.hot_add_block(first_hot).unwrap();
+        assert_eq!(mm.blocks().state(first_hot), BlockState::AddedOffline);
+        assert_eq!(mm.present_bytes(), 256 * MIB);
+
+        mm.online_block(first_hot, ZONE_MOVABLE).unwrap();
+        assert_eq!(
+            mm.blocks().state(first_hot),
+            BlockState::Online { zone: ZONE_MOVABLE }
+        );
+        assert_eq!(mm.present_bytes(), 384 * MIB);
+        assert_eq!(mm.zone(ZONE_MOVABLE).free_pages, PAGES_PER_BLOCK);
+        mm.assert_consistent();
+
+        let out = mm.offline_block(first_hot).unwrap();
+        assert_eq!(out.isolated_free, PAGES_PER_BLOCK);
+        assert_eq!(out.migrated, 0);
+        assert_eq!(
+            out.zeroed, PAGES_PER_BLOCK,
+            "init_on_alloc zeroes isolated frees"
+        );
+        assert_eq!(mm.present_bytes(), 256 * MIB);
+        mm.assert_consistent();
+
+        mm.hot_remove_block(first_hot).unwrap();
+        assert_eq!(mm.blocks().state(first_hot), BlockState::Absent);
+    }
+
+    #[test]
+    fn hotplug_bad_transitions_rejected() {
+        let mut mm = GuestMm::new(small_config());
+        let b = BlockId(2);
+        assert_eq!(mm.offline_block(b).unwrap_err().error, MmError::BadBlockState);
+        assert_eq!(mm.hot_remove_block(b), Err(MmError::BadBlockState));
+        mm.hot_add_block(b).unwrap();
+        assert_eq!(mm.hot_add_block(b), Err(MmError::BadBlockState));
+        mm.online_block(b, ZONE_MOVABLE).unwrap();
+        assert_eq!(mm.online_block(b, ZONE_MOVABLE), Err(MmError::BadBlockState));
+        // Onlining into a zone that does not span the block fails.
+        let b2 = BlockId(3);
+        mm.hot_add_block(b2).unwrap();
+        assert_eq!(mm.online_block(b2, ZONE_NORMAL), Err(MmError::BadBlockState));
+    }
+
+    #[test]
+    fn offline_migrates_occupied_pages() {
+        let mut mm = GuestMm::new(small_config());
+        // Online two hotplug blocks, fill one partially from a process.
+        let b1 = BlockId(2);
+        let b2 = BlockId(3);
+        mm.hot_add_block(b1).unwrap();
+        mm.online_block(b1, ZONE_MOVABLE).unwrap();
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        mm.fault_anon(pid, 1000).unwrap();
+        // Pages land in b1 (only movable block online).
+        assert_eq!(mm.blocks().counters(b1).used_movable, 1000);
+        mm.hot_add_block(b2).unwrap();
+        mm.online_block(b2, ZONE_MOVABLE).unwrap();
+
+        let out = mm.offline_block(b1).unwrap();
+        assert_eq!(out.migrated, 1000);
+        assert_eq!(out.isolated_free, PAGES_PER_BLOCK - 1000);
+        // Zeroed = isolated frees + migration targets.
+        assert_eq!(out.zeroed, PAGES_PER_BLOCK);
+        // The process still owns 1000 pages, now in b2.
+        assert_eq!(mm.process(pid).unwrap().rss_pages(), 1000);
+        assert_eq!(mm.blocks().counters(b2).used_movable, 1000);
+        mm.assert_consistent();
+        // Squeezy's zeroing skip suppresses the zeroing count.
+        mm.unplug_aware_zeroing_skip = true;
+        // b2 holds the 1000 pages; migration falls back to ZONE_NORMAL.
+        let out2 = mm.offline_block(b2).unwrap();
+        assert_eq!(out2.migrated, 1000);
+        assert_eq!(out2.zeroed, 0);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn offline_fails_when_no_target_memory() {
+        let mut mm = GuestMm::new(GuestMmConfig {
+            boot_bytes: 128 * MIB,
+            hotplug_bytes: 256 * MIB,
+            kernel_bytes: 16 * MIB,
+            init_on_alloc: true,
+        });
+        let b = BlockId(1);
+        mm.hot_add_block(b).unwrap();
+        mm.online_block(b, ZONE_MOVABLE).unwrap();
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        // Fill both the block and nearly all of ZONE_NORMAL so that
+        // migration targets run out.
+        let total_free = mm.free_bytes() / PAGE_SIZE;
+        mm.fault_anon(pid, total_free - 100).unwrap();
+        let before = mm.stats().offline_failures;
+        let failure = mm.offline_block(b).unwrap_err();
+        assert_eq!(failure.error, MmError::OutOfMemory);
+        assert!(
+            failure.partial.migrated > 0,
+            "some pages migrated before exhaustion"
+        );
+        assert_eq!(mm.stats().offline_failures, before + 1);
+        // Rollback: block is still online and consistent.
+        assert!(matches!(mm.blocks().state(b), BlockState::Online { .. }));
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn instant_offline_requires_empty_block() {
+        let mut mm = GuestMm::new(small_config());
+        let b = BlockId(2);
+        mm.hot_add_block(b).unwrap();
+        mm.online_block(b, ZONE_MOVABLE).unwrap();
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        mm.fault_anon(pid, 1).unwrap();
+        assert_eq!(mm.offline_block_instant(b), Err(MmError::BlockNotEmpty));
+        mm.exit_process(pid).unwrap();
+        mm.unplug_aware_zeroing_skip = true;
+        let out = mm.offline_block_instant(b).unwrap();
+        assert_eq!(out.migrated, 0);
+        assert_eq!(out.zeroed, 0, "Squeezy skips zeroing");
+        assert_eq!(out.isolated_free, PAGES_PER_BLOCK);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn kernel_pages_pin_blocks() {
+        let mut mm = GuestMm::new(small_config());
+        // Kernel pages live in boot blocks; those blocks are pinned.
+        let pinned = (0..2)
+            .map(BlockId)
+            .find(|&b| mm.blocks().counters(b).used_unmovable > 0)
+            .expect("some boot block holds kernel pages");
+        assert!(!mm.blocks().offlineable(pinned));
+        assert_eq!(
+            mm.offline_block(pinned).unwrap_err().error,
+            MmError::BlockPinned
+        );
+        mm.alloc_kernel(10).unwrap();
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn file_faults_hit_cache_on_refault() {
+        let mut mm = GuestMm::new(small_config());
+        let f = FileId(7);
+        let o1 = mm.fault_file(f, 100).unwrap();
+        assert_eq!(o1.new_pages, 100);
+        assert_eq!(o1.cached_pages, 0);
+        let o2 = mm.fault_file(f, 100).unwrap();
+        assert_eq!(o2.new_pages, 0);
+        assert_eq!(o2.cached_pages, 100);
+        let o3 = mm.fault_file(f, 150).unwrap();
+        assert_eq!(o3.new_pages, 50);
+        assert_eq!(o3.cached_pages, 100);
+        assert_eq!(mm.file(f).unwrap().resident_pages(), 150);
+        assert_eq!(mm.drop_file(f).unwrap(), 150);
+        assert!(mm.file(f).is_none());
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn pinned_zone_policy_ooms_instead_of_spilling() {
+        let mut mm = GuestMm::new(small_config());
+        let b = BlockId(2);
+        mm.hot_add_block(b).unwrap();
+        mm.online_block(b, ZONE_MOVABLE).unwrap();
+        let pid = mm.spawn_process(AllocPolicy::PinnedZone(ZONE_MOVABLE));
+        // One block = 32768 pages; asking for more must OOM even though
+        // ZONE_NORMAL has plenty free.
+        let r = mm.fault_anon(pid, PAGES_PER_BLOCK + 1);
+        assert_eq!(r, Err(MmError::OutOfMemory));
+        assert!(mm.free_bytes() > 0, "normal zone still has memory");
+        // The process keeps what it got; exit releases it.
+        assert_eq!(mm.process(pid).unwrap().rss_pages(), PAGES_PER_BLOCK);
+        mm.exit_process(pid).unwrap();
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn offline_candidates_strategies() {
+        let mut mm = GuestMm::new(small_config());
+        for i in 2..6 {
+            mm.hot_add_block(BlockId(i)).unwrap();
+            mm.online_block(BlockId(i), ZONE_MOVABLE).unwrap();
+        }
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        mm.fault_anon(pid, 10).unwrap();
+        let highest = mm.offline_candidates(ZONE_MOVABLE, 2, CandidateStrategy::HighestFirst);
+        assert_eq!(highest, vec![BlockId(5), BlockId(4)]);
+        let emptiest = mm.offline_candidates(ZONE_MOVABLE, 4, CandidateStrategy::EmptiestFirst);
+        // The block holding the 10 faulted pages sorts last.
+        let last = *emptiest.last().unwrap();
+        assert_eq!(mm.blocks().counters(last).used_movable, 10);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut mm = GuestMm::new(small_config());
+        let b = BlockId(2);
+        mm.hot_add_block(b).unwrap();
+        mm.online_block(b, ZONE_MOVABLE).unwrap();
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        mm.fault_anon(pid, 50).unwrap();
+        mm.offline_block(b).unwrap();
+        let s = mm.stats();
+        assert_eq!(s.anon_faults, 50);
+        assert_eq!(s.pages_migrated, 50);
+        assert_eq!(s.blocks_onlined, 1);
+        assert_eq!(s.blocks_offlined, 1);
+        assert!(s.pages_zeroed >= 50);
+    }
+
+    #[test]
+    fn swap_out_evicts_oldest_pages_first() {
+        let mut mm = GuestMm::new(small_config());
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        let got = mm.fault_anon(pid, 100).unwrap();
+        let used0 = mm.used_bytes();
+        let victims = mm.swap_out_anon(pid, 30).unwrap();
+        assert_eq!(victims, got[..30].to_vec(), "oldest (first-faulted) go first");
+        let p = mm.process(pid).unwrap();
+        assert_eq!(p.rss_pages(), 70);
+        assert_eq!(p.swapped, 30);
+        assert_eq!(mm.used_bytes(), used0 - 30 * PAGE_SIZE);
+        mm.assert_consistent();
+        // Slot back-references survived the drain (exercise free path).
+        let some = mm.process(pid).unwrap().pages[5];
+        mm.free_anon_page(pid, some).unwrap();
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn swap_in_restores_resident_set() {
+        let mut mm = GuestMm::new(small_config());
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        mm.fault_anon(pid, 100).unwrap();
+        mm.swap_out_anon(pid, 60).unwrap();
+        let back = mm.swap_in_anon(pid, 40).unwrap();
+        assert_eq!(back.len(), 40);
+        let p = mm.process(pid).unwrap();
+        assert_eq!(p.rss_pages(), 80);
+        assert_eq!(p.swapped, 20);
+        // Swapping in more than is swapped caps at the swapped count.
+        assert_eq!(mm.swap_in_anon(pid, 100).unwrap().len(), 20);
+        assert_eq!(mm.process(pid).unwrap().swapped, 0);
+        assert_eq!(mm.stats().swap_outs, 60);
+        assert_eq!(mm.stats().swap_ins, 60);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn swap_out_more_than_resident_caps() {
+        let mut mm = GuestMm::new(small_config());
+        let pid = mm.spawn_process(AllocPolicy::MovableDefault);
+        mm.fault_anon(pid, 10).unwrap();
+        let victims = mm.swap_out_anon(pid, 100).unwrap();
+        assert_eq!(victims.len(), 10);
+        assert_eq!(mm.process(pid).unwrap().rss_pages(), 0);
+        assert_eq!(mm.swap_out_anon(Pid(999), 1), Err(MmError::NoSuchProcess));
+    }
+
+    #[test]
+    fn create_zone_and_pin_process_to_it() {
+        let mut mm = GuestMm::new(small_config());
+        let boot_frames = 2 * PAGES_PER_BLOCK;
+        let z = mm.create_zone(
+            ZoneKind::SqueezyPrivate { partition: 0 },
+            FrameRange::new(Gfn(boot_frames), PAGES_PER_BLOCK),
+        );
+        assert_eq!(z, 2);
+        assert_eq!(mm.zone(z).managed_pages, 0);
+        // Online the block into the new zone and allocate from it.
+        mm.hot_add_block(BlockId(2)).unwrap();
+        mm.online_block(BlockId(2), z).unwrap();
+        let pid = mm.spawn_process(AllocPolicy::PinnedZone(z));
+        let got = mm.fault_anon(pid, 5).unwrap();
+        for g in got {
+            assert_eq!(mm.memmap().page(g).zone, z);
+        }
+        mm.assert_consistent();
+    }
+}

@@ -1,0 +1,137 @@
+//! The guest memory map: one [`PageDesc`] per guest frame.
+
+use mem_types::{FrameRange, Gfn};
+
+use crate::page::{PageDesc, PageState};
+
+/// The simulator's `memmap` array covering the whole guest physical
+/// address space (boot memory plus the hot-pluggable device region).
+///
+/// Hot-add materializes descriptors for a block's frames (Absent →
+/// Offline); hot-remove destroys them again, exactly like the kernel
+/// populating and tearing down `struct page` ranges (§2.2).
+pub struct MemMap {
+    pages: Vec<PageDesc>,
+}
+
+impl MemMap {
+    /// Creates a map covering `frames` guest frames, all absent.
+    pub fn new(frames: u64) -> Self {
+        MemMap {
+            pages: vec![PageDesc::ABSENT; frames as usize],
+        }
+    }
+
+    /// Returns the number of frames covered.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Returns `true` if the map covers zero frames.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Returns the descriptor of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is beyond the covered address space.
+    #[inline]
+    pub fn page(&self, g: Gfn) -> &PageDesc {
+        &self.pages[g.0 as usize]
+    }
+
+    /// Returns the mutable descriptor of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is beyond the covered address space.
+    #[inline]
+    pub fn page_mut(&mut self, g: Gfn) -> &mut PageDesc {
+        &mut self.pages[g.0 as usize]
+    }
+
+    /// Returns the state of `g`.
+    #[inline]
+    pub fn state(&self, g: Gfn) -> PageState {
+        self.page(g).state
+    }
+
+    /// Counts pages in `range` matching `pred`.
+    pub fn count_in(&self, range: FrameRange, pred: impl Fn(&PageDesc) -> bool) -> u64 {
+        range.iter().filter(|&g| pred(self.page(g))).count() as u64
+    }
+
+    /// Finds the head of the free buddy block containing free page `g`.
+    ///
+    /// Walks candidate heads of increasing order; at most
+    /// [`MAX_ORDER`](crate::page::MAX_ORDER) + 1 probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not part of any free buddy block (caller must
+    /// check the page is free first).
+    pub fn free_block_head(&self, g: Gfn) -> (Gfn, u8) {
+        debug_assert!(self.state(g).is_free(), "page {g:?} is not free");
+        for order in 0..=crate::page::MAX_ORDER {
+            let head = Gfn(g.0 & !((1u64 << order) - 1));
+            let d = self.page(head);
+            if d.state == PageState::FreeHead && d.order == order {
+                return (head, order);
+            }
+        }
+        panic!("free page {g:?} has no containing buddy block");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_map_is_absent() {
+        let m = MemMap::new(100);
+        assert_eq!(m.len(), 100);
+        assert!(!m.is_empty());
+        for i in 0..100 {
+            assert_eq!(m.state(Gfn(i)), PageState::Absent);
+        }
+    }
+
+    #[test]
+    fn count_in_counts_matching_pages() {
+        let mut m = MemMap::new(16);
+        m.page_mut(Gfn(3)).state = PageState::Anon;
+        m.page_mut(Gfn(4)).state = PageState::Anon;
+        m.page_mut(Gfn(5)).state = PageState::Kernel;
+        let r = FrameRange::new(Gfn(0), 16);
+        assert_eq!(m.count_in(r, |p| p.state == PageState::Anon), 2);
+        assert_eq!(m.count_in(r, |p| p.state.is_used()), 3);
+        let r2 = FrameRange::new(Gfn(4), 2);
+        assert_eq!(m.count_in(r2, |p| p.state == PageState::Anon), 1);
+    }
+
+    #[test]
+    fn free_block_head_finds_head() {
+        let mut m = MemMap::new(1024);
+        // Make pages [512, 1024) a free order-9 block.
+        let head = Gfn(512);
+        m.page_mut(head).state = PageState::FreeHead;
+        m.page_mut(head).order = 9;
+        for i in 513..1024 {
+            m.page_mut(Gfn(i)).state = PageState::FreeTail;
+        }
+        assert_eq!(m.free_block_head(Gfn(512)), (head, 9));
+        assert_eq!(m.free_block_head(Gfn(777)), (head, 9));
+        assert_eq!(m.free_block_head(Gfn(1023)), (head, 9));
+    }
+
+    #[test]
+    fn free_block_head_order_zero() {
+        let mut m = MemMap::new(8);
+        m.page_mut(Gfn(5)).state = PageState::FreeHead;
+        m.page_mut(Gfn(5)).order = 0;
+        assert_eq!(m.free_block_head(Gfn(5)), (Gfn(5), 0));
+    }
+}

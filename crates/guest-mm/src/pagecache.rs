@@ -1,0 +1,45 @@
+//! The guest page cache: file-backed pages shared across processes.
+//!
+//! In the N:1 model, container root file systems and runtime dependencies
+//! are "instantiated once in memory and mapped multiple times" (§3). The
+//! page cache holds those pages; Squeezy later redirects them into the
+//! shared partition so private partitions stay instantly reclaimable.
+
+use mem_types::Gfn;
+
+/// Identifier of a cached file (rootfs layer, runtime library, model…).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FileId(pub u32);
+
+/// Pages cached for one file.
+///
+/// `PageDesc.b` of each page stores its index in `pages` so migration can
+/// patch the cache in O(1).
+#[derive(Default)]
+pub struct CachedFile {
+    /// Resident pages of the file, in fault order.
+    pub pages: Vec<Gfn>,
+    /// How many processes currently map the file (informational).
+    pub mappers: u32,
+}
+
+impl CachedFile {
+    /// Returns the number of resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_file_counts() {
+        let mut f = CachedFile::default();
+        assert_eq!(f.resident_pages(), 0);
+        f.pages.push(Gfn(1));
+        f.pages.push(Gfn(2));
+        assert_eq!(f.resident_pages(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! A packed fixed-size bitmap.
+//!
+//! Used by the virtio-mem device model to track which sub-blocks of the
+//! managed region are plugged, and by the guest block layer to track
+//! online blocks.
+
+/// A fixed-capacity bitmap over `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitmap {
+    /// Creates a bitmap with `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Returns the number of bits in the map.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`, returning its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        let was = *word & mask != 0;
+        *word |= mask;
+        if !was {
+            self.ones += 1;
+        }
+        was
+    }
+
+    /// Clears bit `i`, returning its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        let was = *word & mask != 0;
+        *word &= !mask;
+        if was {
+            self.ones -= 1;
+        }
+        was
+    }
+
+    /// Returns the index of the first clear bit, or `None` if all set.
+    pub fn first_zero(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != u64::MAX {
+                let bit = (!w).trailing_zeros() as usize;
+                let idx = wi * 64 + bit;
+                if idx < self.len {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns the index of the first set bit, or `None` if all clear.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                if idx < self.len {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over the indices of all set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let len = self.len;
+            let mut w = w;
+            core::iter::from_fn(move || {
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let idx = wi * 64 + bit;
+                    if idx < len {
+                        return Some(idx);
+                    }
+                }
+                None
+            })
+        })
+    }
+
+    /// Iterates over the indices of all clear bits in ascending order.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| !self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = Bitmap::new(130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.set(0));
+        assert!(!b.set(64));
+        assert!(!b.set(129));
+        assert!(b.set(129), "second set reports prior value");
+        assert_eq!(b.count_ones(), 3);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert!(b.clear(64));
+        assert!(!b.clear(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn first_zero_and_one() {
+        let mut b = Bitmap::new(70);
+        assert_eq!(b.first_one(), None);
+        assert_eq!(b.first_zero(), Some(0));
+        for i in 0..70 {
+            b.set(i);
+        }
+        assert_eq!(b.first_zero(), None);
+        assert_eq!(b.first_one(), Some(0));
+        b.clear(69);
+        assert_eq!(b.first_zero(), Some(69));
+    }
+
+    #[test]
+    fn iter_ones_matches_gets() {
+        let mut b = Bitmap::new(200);
+        let set = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &set {
+            b.set(i);
+        }
+        let got: Vec<_> = b.iter_ones().collect();
+        assert_eq!(got, set);
+        let zeros: Vec<_> = b.iter_zeros().collect();
+        assert_eq!(zeros.len(), 200 - set.len());
+        assert!(!zeros.contains(&64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Bitmap::new(10).get(10);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.first_zero(), None);
+        assert_eq!(b.first_one(), None);
+    }
+}

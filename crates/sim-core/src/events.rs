@@ -1,0 +1,181 @@
+//! A deterministic event queue.
+//!
+//! `EventQueue<E>` is a time-ordered priority queue with a monotonic
+//! sequence number breaking ties, so that two events scheduled for the
+//! same instant pop in the order they were pushed. This FIFO tie-break is
+//! what makes whole-system runs reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest event pops
+        // first, with the lowest sequence number breaking ties.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered, deterministic event queue.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::ZERO + SimDuration::millis(2), "late");
+/// q.push(SimTime::ZERO + SimDuration::millis(1), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the current simulation time (the timestamp of the last
+    /// popped event, or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Returns the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), 'c');
+        q.push(SimTime(10), 'a');
+        q.push(SimTime(20), 'b');
+        assert_eq!(q.pop(), Some((SimTime(10), 'a')));
+        assert_eq!(q.pop(), Some((SimTime(20), 'b')));
+        assert_eq!(q.pop(), Some((SimTime(30), 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime(100), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(100), ());
+        q.pop();
+        q.push(SimTime(50), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::ZERO + SimDuration::secs(1), 1);
+        q.push(SimTime::ZERO + SimDuration::millis(1), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(1_000_000)));
+    }
+}

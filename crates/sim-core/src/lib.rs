@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation core for the Squeezy workspace.
+//!
+//! The paper evaluates Squeezy on a 40-core Xeon host running Linux 6.6 and
+//! Cloud Hypervisor. This crate replaces the physical testbed with a
+//! deterministic simulator:
+//!
+//! * [`time`] — virtual nanosecond clock ([`SimTime`], [`SimDuration`]).
+//! * [`events`] — a deterministic event queue with FIFO tie-breaking.
+//! * [`rng`] — seeded random streams plus the samplers the workloads need
+//!   (exponential, Zipf, log-normal) so no extra crates are required.
+//! * [`cost`] — the calibrated cost model: every nanosecond the simulator
+//!   ever charges is a named constant here (see `EXPERIMENTS.md` for the
+//!   calibration story).
+//! * [`cpu`] — a generalized-processor-sharing CPU pool with per-task rate
+//!   caps; reproduces the vCPU interference effects of Figures 7 and 9.
+//! * [`metrics`] — histograms/quantiles, time series and busy-interval
+//!   recorders used by the benchmark harness.
+//!
+//! Everything is single-threaded and fully deterministic: the same seed
+//! regenerates the same figures bit-for-bit.
+
+pub mod cost;
+pub mod cpu;
+pub mod events;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use cost::{CostModel, LatencyBreakdown};
+pub use cpu::{CpuPool, TaskId};
+pub use events::EventQueue;
+pub use metrics::{BusyRecorder, Histogram, TimeSeries};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,388 @@
+//! Measurement utilities: histograms, time series, busy-interval windows.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A sample histogram with exact quantiles.
+///
+/// Stores raw samples and sorts lazily; experiments collect at most a few
+/// hundred thousand latencies, so exact quantiles are affordable and avoid
+/// binning artefacts in reported P99s.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Records a duration sample in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Returns the maximum sample, or 0 for an empty histogram.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Returns the `q`-quantile (`0.0..=1.0`) by nearest-rank, or 0 when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted = true;
+        }
+        let rank = ((self.samples.len() as f64) * q).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Returns the 99th-percentile sample.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Returns the median sample.
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+}
+
+/// A timestamped series of values, e.g. memory usage over time.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point; timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded timestamp.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be monotonic");
+        }
+        self.points.push((t, v));
+    }
+
+    /// Returns the recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Returns the number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the maximum value, or 0 for an empty series.
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Integrates the series as a step function from the first point to
+    /// `end` (units: value × seconds). Used for the paper's GiB·s memory
+    /// footprint accounting (Figure 10).
+    pub fn integral_until(&self, end: SimTime) -> f64 {
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, _) = w[1];
+            let stop = t1.min(end);
+            if stop > t0 {
+                acc += v0 * stop.since(t0).as_secs_f64();
+            }
+        }
+        if let Some(&(tl, vl)) = self.points.last() {
+            if end > tl {
+                acc += vl * end.since(tl).as_secs_f64();
+            }
+        }
+        acc
+    }
+
+    /// Returns the step-function value at `t` (last point at or before
+    /// `t`), or `None` before the first point.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Downsamples to one point per `step` (mean of values in each bin),
+    /// returning `(bin_start_seconds, mean)` pairs. Bins with no points
+    /// carry the previous step value forward.
+    pub fn downsample(&self, step: SimDuration) -> Vec<(f64, f64)> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let end = self.points.last().expect("non-empty").0;
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t <= end {
+            let next = t + step;
+            let vals: Vec<f64> = self
+                .points
+                .iter()
+                .filter(|&&(pt, _)| pt >= t && pt < next)
+                .map(|&(_, v)| v)
+                .collect();
+            let v = if vals.is_empty() {
+                self.value_at(t).unwrap_or(0.0)
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+            out.push((t.as_secs_f64(), v));
+            t = next;
+        }
+        out
+    }
+}
+
+/// Accumulates cpu-seconds into fixed-width wall-clock windows.
+///
+/// Figure 7 reports the utilization (%) of the reclaim kernel threads in
+/// one-second windows; device models feed their busy intervals here.
+#[derive(Clone, Debug)]
+pub struct BusyRecorder {
+    window: SimDuration,
+    /// cpu-seconds accumulated per window index.
+    windows: Vec<f64>,
+}
+
+impl BusyRecorder {
+    /// Creates a recorder with the given window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        BusyRecorder {
+            window,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records that the tracked entity ran at `rate` vCPUs during
+    /// `[start, end)`, splitting across window boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn add_interval(&mut self, start: SimTime, end: SimTime, rate: f64) {
+        assert!(end >= start, "interval ends before it starts");
+        if rate == 0.0 || end == start {
+            return;
+        }
+        let w = self.window.as_nanos();
+        let mut t = start.0;
+        while t < end.0 {
+            let idx = (t / w) as usize;
+            let window_end = (idx as u64 + 1) * w;
+            let stop = window_end.min(end.0);
+            if idx >= self.windows.len() {
+                self.windows.resize(idx + 1, 0.0);
+            }
+            self.windows[idx] += rate * (stop - t) as f64 / 1e9;
+            t = stop;
+        }
+    }
+
+    /// Records a fully-busy interval (`rate = 1.0`).
+    pub fn add_busy(&mut self, start: SimTime, end: SimTime) {
+        self.add_interval(start, end, 1.0);
+    }
+
+    /// Returns per-window utilization as a fraction of one CPU, padded
+    /// with zeros up to `until`.
+    pub fn utilization(&self, until: SimTime) -> Vec<f64> {
+        let n = (until.0.div_ceil(self.window.as_nanos())) as usize;
+        let wsecs = self.window.as_secs_f64();
+        (0..n)
+            .map(|i| self.windows.get(i).copied().unwrap_or(0.0) / wsecs)
+            .collect()
+    }
+
+    /// Returns total cpu-seconds recorded.
+    pub fn total_cpu_seconds(&self) -> f64 {
+        self.windows.iter().sum()
+    }
+}
+
+/// Returns the geometric mean of `xs` (0 if empty).
+///
+/// # Panics
+///
+/// Panics if any sample is non-positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geomean requires positive samples"
+    );
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 50.0);
+        assert_eq!(h.p99(), 99.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.mean(), 50.5);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_records_after_quantile() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.p50(), 5.0);
+        h.record(1.0);
+        assert_eq!(h.p50(), 1.0, "re-sorts after new samples");
+    }
+
+    #[test]
+    fn time_series_integral() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::ZERO, 2.0);
+        ts.push(SimTime(2_000_000_000), 4.0);
+        // 2.0 for 2 s, then 4.0 for 3 s = 4 + 12 = 16 value-seconds.
+        let integral = ts.integral_until(SimTime(5_000_000_000));
+        assert!((integral - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_value_at() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime(10), 1.0);
+        ts.push(SimTime(20), 2.0);
+        assert_eq!(ts.value_at(SimTime(5)), None);
+        assert_eq!(ts.value_at(SimTime(10)), Some(1.0));
+        assert_eq!(ts.value_at(SimTime(15)), Some(1.0));
+        assert_eq!(ts.value_at(SimTime(20)), Some(2.0));
+        assert_eq!(ts.value_at(SimTime(100)), Some(2.0));
+        assert_eq!(ts.max_value(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn time_series_rejects_backwards_time() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime(10), 1.0);
+        ts.push(SimTime(5), 1.0);
+    }
+
+    #[test]
+    fn busy_recorder_splits_across_windows() {
+        let mut b = BusyRecorder::new(SimDuration::secs(1));
+        // Busy 0.5 s in window 0 and 0.25 s in window 1.
+        b.add_busy(
+            SimTime(500_000_000),
+            SimTime(1_250_000_000),
+        );
+        let u = b.utilization(SimTime(2_000_000_000));
+        assert_eq!(u.len(), 2);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+        assert!((u[1] - 0.25).abs() < 1e-9);
+        assert!((b.total_cpu_seconds() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_recorder_rate_scaling() {
+        let mut b = BusyRecorder::new(SimDuration::secs(1));
+        b.add_interval(SimTime::ZERO, SimTime(1_000_000_000), 0.5);
+        let u = b.utilization(SimTime(1_000_000_000));
+        assert!((u[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_bins() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::ZERO, 1.0);
+        ts.push(SimTime(500_000_000), 3.0);
+        ts.push(SimTime(1_500_000_000), 5.0);
+        let d = ts.downsample(SimDuration::secs(1));
+        assert_eq!(d.len(), 2);
+        assert!((d[0].1 - 2.0).abs() < 1e-9, "mean of 1 and 3");
+        assert!((d[1].1 - 5.0).abs() < 1e-9);
+    }
+}

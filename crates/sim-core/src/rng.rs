@@ -1,0 +1,214 @@
+//! Deterministic random streams and the samplers used by the workloads.
+//!
+//! Trace generation needs exponential inter-arrivals (Poisson processes),
+//! Zipf-distributed function popularity (Azure trace analyses report
+//! heavy-tailed popularity) and log-normal service times. Rather than pull
+//! in extra dependencies, the samplers are implemented here from first
+//! principles on top of `rand::rngs::SmallRng`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded deterministic random stream.
+///
+/// Each simulation component derives its own stream via
+/// [`DetRng::derive`], so adding random draws to one component never
+/// perturbs another (a requirement for figure-to-figure reproducibility).
+pub struct DetRng {
+    rng: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream identified by `tag`.
+    pub fn derive(&self, tag: u64) -> DetRng {
+        // SplitMix64 finalizer over (seed-stream draw, tag) gives
+        // well-separated child seeds.
+        let mut z = tag.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Exponential draw with rate `lambda` (mean `1 / lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive.
+    pub fn exp(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.unit(); // in (0, 1]
+        -u.ln() / lambda
+    }
+
+    /// Log-normal draw with the given parameters of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        // Box-Muller transform.
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        (mu + sigma * z).exp()
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// A Zipf(`s`) sampler over ranks `0..n`, built on a precomputed CDF.
+///
+/// Rank 0 is the most popular item. Used to assign invocation rates to
+/// functions when synthesizing Azure-like traces (Figure 2).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Returns the probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - lo
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let root = DetRng::new(7);
+        let mut a = root.derive(1);
+        let mut b = root.derive(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.range(0, 1_000_000)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.range(0, 1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn exp_mean_is_reciprocal_rate() {
+        let mut rng = DetRng::new(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_sane_median() {
+        let mut rng = DetRng::new(2);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| rng.log_normal(0.0, 0.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = DetRng::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[5]);
+        // PMF sums to one.
+        let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(4);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle changed order");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

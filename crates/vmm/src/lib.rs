@@ -1,0 +1,15 @@
+//! The host/VMM side of the simulation.
+//!
+//! Models the Cloud Hypervisor role in the paper's setup: host physical
+//! memory accounting ([`HostMemory`]), per-VM nested page tables
+//! ([`Ept`]) with lazy populate on first touch and
+//! `madvise(MADV_DONTNEED)` release after unplug, and the [`Vm`]
+//! composite that wires the guest kernel to its devices.
+
+pub mod ept;
+pub mod hostmem;
+pub mod vm;
+
+pub use ept::Ept;
+pub use hostmem::{HostMemError, HostMemory};
+pub use vm::{FaultCharge, Vm, VmConfig, VmmError};

@@ -1,0 +1,185 @@
+//! Instance churn analysis (Figure 2).
+//!
+//! Replays invocation traces against a keep-alive instance pool and
+//! counts instance creations and evictions per minute — the analysis the
+//! paper runs over the 10 most popular Azure functions to motivate agile
+//! N:1 resizing ("thousands of instances can be scaled up and down per
+//! minute").
+
+/// A creation/eviction count for one minute of the trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinuteChurn {
+    /// Instances created in this minute.
+    pub creations: u32,
+    /// Instances evicted in this minute.
+    pub evictions: u32,
+}
+
+/// Result of a churn analysis.
+#[derive(Clone, Debug)]
+pub struct ChurnResult {
+    /// Per-minute creation/eviction counts over the analysis window.
+    pub per_minute: Vec<MinuteChurn>,
+}
+
+impl ChurnResult {
+    /// Total creations over the window.
+    pub fn total_creations(&self) -> u64 {
+        self.per_minute.iter().map(|m| m.creations as u64).sum()
+    }
+
+    /// Total evictions over the window.
+    pub fn total_evictions(&self) -> u64 {
+        self.per_minute.iter().map(|m| m.evictions as u64).sum()
+    }
+
+    /// Peak creations in any single minute.
+    pub fn peak_creations(&self) -> u32 {
+        self.per_minute.iter().map(|m| m.creations).max().unwrap_or(0)
+    }
+}
+
+/// One live instance in the keep-alive pool.
+#[derive(Clone, Copy, Debug)]
+struct Instance {
+    busy_until: f64,
+}
+
+/// Replays `traces` (per-function sorted arrival times, seconds) with
+/// per-function execution times `exec_s` and a keep-alive window,
+/// counting creations and evictions per minute over `duration_s`.
+///
+/// Instances are reused when idle, created when none is available, and
+/// evicted `keepalive_s` after their last use (the paper's Figure 2 uses
+/// a 5-minute idle eviction window).
+///
+/// # Panics
+///
+/// Panics if `traces` and `exec_s` lengths differ.
+pub fn analyze_churn(
+    traces: &[Vec<f64>],
+    exec_s: &[f64],
+    keepalive_s: f64,
+    duration_s: f64,
+) -> ChurnResult {
+    assert_eq!(traces.len(), exec_s.len(), "one exec time per function");
+    let minutes = (duration_s / 60.0).ceil() as usize;
+    let mut per_minute = vec![MinuteChurn::default(); minutes];
+    let mut record = |t: f64, creation: bool| {
+        let m = ((t / 60.0) as usize).min(minutes.saturating_sub(1));
+        if creation {
+            per_minute[m].creations += 1;
+        } else {
+            per_minute[m].evictions += 1;
+        }
+    };
+
+    for (arrivals, &exec) in traces.iter().zip(exec_s) {
+        let mut pool: Vec<Instance> = Vec::new();
+        for &t in arrivals {
+            // Evict instances whose keep-alive expired before `t`.
+            pool.retain(|inst| {
+                let expiry = inst.busy_until + keepalive_s;
+                if expiry <= t {
+                    record(expiry, false);
+                    false
+                } else {
+                    true
+                }
+            });
+            // Reuse the warmest idle instance (MRU, like OpenWhisk's
+            // container pools) or create a new one. MRU reuse lets the
+            // cold end of the pool idle out — the eviction churn the
+            // figure measures.
+            if let Some(inst) = pool
+                .iter_mut()
+                .filter(|i| i.busy_until <= t)
+                .max_by(|a, b| a.busy_until.partial_cmp(&b.busy_until).expect("finite"))
+            {
+                inst.busy_until = t + exec;
+            } else {
+                record(t, true);
+                pool.push(Instance {
+                    busy_until: t + exec,
+                });
+            }
+        }
+        // Drain remaining instances at their keep-alive expiry.
+        for inst in pool {
+            let expiry = inst.busy_until + keepalive_s;
+            if expiry < duration_s {
+                record(expiry, false);
+            }
+        }
+    }
+    ChurnResult { per_minute }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arrival_creates_once_evicts_once() {
+        let traces = vec![vec![10.0]];
+        let r = analyze_churn(&traces, &[1.0], 60.0, 300.0);
+        assert_eq!(r.total_creations(), 1);
+        assert_eq!(r.total_evictions(), 1);
+        // Creation in minute 0, eviction at 10 + 1 + 60 = 71 s → minute 1.
+        assert_eq!(r.per_minute[0].creations, 1);
+        assert_eq!(r.per_minute[1].evictions, 1);
+    }
+
+    #[test]
+    fn back_to_back_requests_reuse_instance() {
+        // Second arrival lands after the first finishes: reuse.
+        let traces = vec![vec![0.0, 5.0, 10.0]];
+        let r = analyze_churn(&traces, &[1.0], 120.0, 300.0);
+        assert_eq!(r.total_creations(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_create_multiple_instances() {
+        // Three arrivals while each execution takes 10 s: 3 instances.
+        let traces = vec![vec![0.0, 1.0, 2.0]];
+        let r = analyze_churn(&traces, &[10.0], 60.0, 300.0);
+        assert_eq!(r.total_creations(), 3);
+        assert_eq!(r.total_evictions(), 3);
+    }
+
+    #[test]
+    fn keepalive_prevents_eviction_between_bursts() {
+        // Two bursts 100 s apart; keep-alive 300 s: no eviction between.
+        let traces = vec![vec![0.0, 100.0]];
+        let r = analyze_churn(&traces, &[1.0], 300.0, 600.0);
+        assert_eq!(r.total_creations(), 1);
+        // Eviction at 101 + 300 = 401 s.
+        assert_eq!(r.total_evictions(), 1);
+        assert_eq!(r.per_minute[6].evictions, 1);
+    }
+
+    #[test]
+    fn short_keepalive_churns() {
+        // Same two bursts with 30 s keep-alive: re-create.
+        let traces = vec![vec![0.0, 100.0]];
+        let r = analyze_churn(&traces, &[1.0], 30.0, 600.0);
+        assert_eq!(r.total_creations(), 2);
+        assert_eq!(r.total_evictions(), 2);
+    }
+
+    #[test]
+    fn evictions_past_duration_are_dropped() {
+        let traces = vec![vec![290.0]];
+        let r = analyze_churn(&traces, &[1.0], 60.0, 300.0);
+        assert_eq!(r.total_creations(), 1);
+        assert_eq!(r.total_evictions(), 0, "expiry lands past the window");
+    }
+
+    #[test]
+    fn multiple_functions_accumulate() {
+        let traces = vec![vec![0.0], vec![0.0], vec![0.0]];
+        let r = analyze_churn(&traces, &[1.0, 1.0, 1.0], 10.0, 120.0);
+        assert_eq!(r.total_creations(), 3);
+        assert_eq!(r.peak_creations(), 3);
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload models for the Squeezy evaluation.
+//!
+//! * [`functions`] — the Table-1 serverless functions (CNN, Bert, BFS,
+//!   HTML) with vCPU shares, memory limits and anon/file footprint
+//!   splits;
+//! * [`memhog`] — the memhog microbenchmark driving Figures 5-7;
+//! * [`trace`] — Azure-like bursty invocation trace synthesis;
+//! * [`churn`] — the Figure-2 creations/evictions-per-minute analysis.
+
+pub mod churn;
+pub mod functions;
+pub mod memhog;
+pub mod trace;
+
+pub use churn::{analyze_churn, ChurnResult, MinuteChurn};
+pub use functions::{FunctionKind, FunctionProfile};
+pub use memhog::Memhog;
+pub use trace::{bursty_arrivals, zipf_function_traces, BurstyTraceConfig};

@@ -1,0 +1,184 @@
+//! Synthetic invocation traces with Azure-like burstiness.
+//!
+//! The paper drives its FaaS experiments with traces from the Azure
+//! Functions 2021 collection \[83\], selected for bursty request patterns
+//! (§6.2.1), and analyses the 2019 production traces for Figure 2. The
+//! datasets are proprietary, so this module synthesizes statistically
+//! similar load: on/off-modulated Poisson arrivals (bursts of seconds to
+//! tens of seconds over a low base rate) and Zipf-distributed per-function
+//! popularity, matching the published heavy-tail characterizations
+//! \[34, 66\].
+
+use sim_core::rng::Zipf;
+use sim_core::DetRng;
+
+/// Parameters of one bursty arrival process.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstyTraceConfig {
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Arrival rate during quiet phases (requests/second).
+    pub base_rps: f64,
+    /// Arrival rate during bursts (requests/second).
+    pub burst_rps: f64,
+    /// Mean burst length in seconds (exponential).
+    pub mean_burst_s: f64,
+    /// Mean quiet-gap length in seconds (exponential).
+    pub mean_idle_s: f64,
+}
+
+impl Default for BurstyTraceConfig {
+    fn default() -> Self {
+        BurstyTraceConfig {
+            duration_s: 450.0,
+            base_rps: 0.3,
+            burst_rps: 12.0,
+            mean_burst_s: 15.0,
+            mean_idle_s: 45.0,
+        }
+    }
+}
+
+/// Generates sorted arrival times (seconds) for a bursty trace.
+///
+/// The process alternates quiet and burst phases with exponential
+/// lengths; within each phase arrivals are Poisson at the phase rate.
+pub fn bursty_arrivals(cfg: &BurstyTraceConfig, rng: &mut DetRng) -> Vec<f64> {
+    let mut arrivals = Vec::new();
+    let mut t = 0.0;
+    let mut bursting = false;
+    while t < cfg.duration_s {
+        let (rate, mean_len) = if bursting {
+            (cfg.burst_rps, cfg.mean_burst_s)
+        } else {
+            (cfg.base_rps, cfg.mean_idle_s)
+        };
+        let phase_end = (t + rng.exp(1.0 / mean_len)).min(cfg.duration_s);
+        if rate > 0.0 {
+            let mut a = t + rng.exp(rate);
+            while a < phase_end {
+                arrivals.push(a);
+                a += rng.exp(rate);
+            }
+        }
+        t = phase_end;
+        bursting = !bursting;
+    }
+    arrivals
+}
+
+/// Per-function traces with Zipf-distributed popularity.
+///
+/// Returns `n` traces whose total average rate is `total_rps`; rank 0 is
+/// the most popular function. Used to synthesize the Figure-2 top-10
+/// churn analysis.
+pub fn zipf_function_traces(
+    n: usize,
+    duration_s: f64,
+    total_rps: f64,
+    zipf_exponent: f64,
+    rng: &mut DetRng,
+) -> Vec<Vec<f64>> {
+    let zipf = Zipf::new(n, zipf_exponent);
+    (0..n)
+        .map(|rank| {
+            let share = zipf.pmf(rank);
+            let rate = total_rps * share;
+            let mut frng = rng.derive(rank as u64 + 1);
+            // Popular functions burst harder (consistent with the Azure
+            // analyses: bursts concentrate on hot functions).
+            let cfg = BurstyTraceConfig {
+                duration_s,
+                base_rps: rate * 0.4,
+                burst_rps: rate * 4.0,
+                mean_burst_s: 20.0,
+                mean_idle_s: 40.0,
+            };
+            bursty_arrivals(&cfg, &mut frng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_bounded() {
+        let mut rng = DetRng::new(1);
+        let cfg = BurstyTraceConfig::default();
+        let a = bursty_arrivals(&cfg, &mut rng);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(a.iter().all(|&t| t >= 0.0 && t < cfg.duration_s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = BurstyTraceConfig::default();
+        let a = bursty_arrivals(&cfg, &mut DetRng::new(7));
+        let b = bursty_arrivals(&cfg, &mut DetRng::new(7));
+        assert_eq!(a, b);
+        let c = bursty_arrivals(&cfg, &mut DetRng::new(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bursts_raise_rate_above_base() {
+        let mut rng = DetRng::new(2);
+        let cfg = BurstyTraceConfig {
+            duration_s: 2000.0,
+            base_rps: 0.2,
+            burst_rps: 10.0,
+            mean_burst_s: 20.0,
+            mean_idle_s: 40.0,
+        };
+        let a = bursty_arrivals(&cfg, &mut rng);
+        let avg_rate = a.len() as f64 / cfg.duration_s;
+        // Expected = (0.2 * 40 + 10 * 20) / 60 ≈ 3.5 rps: between base
+        // and burst rates.
+        assert!(avg_rate > cfg.base_rps * 2.0, "rate {avg_rate}");
+        assert!(avg_rate < cfg.burst_rps, "rate {avg_rate}");
+    }
+
+    #[test]
+    fn bursty_traces_are_overdispersed() {
+        // The coefficient of variation of inter-arrival times must
+        // exceed 1 (a plain Poisson process has CV = 1): that is what
+        // "bursty" means statistically, and what the Azure traces the
+        // paper uses exhibit.
+        let mut rng = DetRng::new(11);
+        let cfg = BurstyTraceConfig {
+            duration_s: 5000.0,
+            ..BurstyTraceConfig::default()
+        };
+        let a = bursty_arrivals(&cfg, &mut rng);
+        let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
+            / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.3, "inter-arrival CV {cv:.2} not bursty");
+    }
+
+    #[test]
+    fn zipf_traces_decay_with_rank() {
+        let mut rng = DetRng::new(3);
+        let traces = zipf_function_traces(10, 3600.0, 30.0, 1.0, &mut rng);
+        assert_eq!(traces.len(), 10);
+        let first = traces[0].len();
+        let last = traces[9].len();
+        assert!(
+            first > 3 * last,
+            "rank 0 ({first}) should dominate rank 9 ({last})"
+        );
+        // Total volume is in the vicinity of total_rps * duration.
+        let total: usize = traces.iter().map(|t| t.len()).sum();
+        let expected = 30.0 * 3600.0;
+        let ratio = total as f64 / expected;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "total arrivals {total} vs expected {expected}"
+        );
+    }
+}

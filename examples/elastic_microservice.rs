@@ -1,0 +1,106 @@
+//! Variable-sized flex partitions (§7): a long-running microservice
+//! grows its partition on demand and gives empty blocks back on its own
+//! schedule — no fixed per-function memory limit required.
+//!
+//! ```text
+//! cargo run --release --example elastic_microservice
+//! ```
+
+use guest_mm::{AllocPolicy, GuestMmConfig};
+use mem_types::{GIB, MIB, PAGE_SIZE};
+use sim_core::CostModel;
+use squeezy::FlexManager;
+use vmm::{HostMemory, Vm, VmConfig};
+
+fn main() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(16 * GIB);
+    let mut vm = Vm::boot(
+        VmConfig {
+            guest: GuestMmConfig {
+                boot_bytes: GIB,
+                hotplug_bytes: 8 * GIB,
+                kernel_bytes: 192 * MIB,
+                init_on_alloc: true,
+            },
+            vcpus: 4.0,
+        },
+        &mut host,
+    )
+    .expect("host fits");
+    let mut flex = FlexManager::install(&mut vm);
+
+    // A microservice rated at 2 GiB starts with a 256 MiB slice.
+    let (svc, _) = flex
+        .create(&mut vm, 2 * GIB, 256 * MIB, &cost)
+        .expect("span fits");
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    flex.attach(&mut vm, svc, pid).expect("attach");
+    println!(
+        "created: rated {} MiB, plugged {} MiB",
+        flex.partition(svc).unwrap().rated_bytes() / MIB,
+        flex.partition(svc).unwrap().plugged_bytes() / MIB,
+    );
+
+    // Load grows in 150 MiB steps up to ~1.5 GiB. Whenever the
+    // allocator OOMs inside the partition, the service reacts by
+    // growing itself — the §7 application-controlled trigger.
+    for step in 1..=10u64 {
+        let target = step * 150 * MIB / PAGE_SIZE;
+        loop {
+            let resident = vm.guest.process(pid).unwrap().rss_pages();
+            if resident >= target {
+                break;
+            }
+            if vm
+                .touch_anon(&mut host, pid, target - resident, &cost)
+                .is_err()
+            {
+                let grow = flex
+                    .grow(&mut vm, svc, 256 * MIB, &cost)
+                    .expect("span has headroom");
+                println!(
+                    "grew by {} MiB in {} (resident {} MiB)",
+                    grow.bytes() / MIB,
+                    grow.latency(),
+                    resident * PAGE_SIZE / MIB,
+                );
+            }
+        }
+    }
+    println!(
+        "peak: plugged {} MiB, resident {} MiB, host {} MiB",
+        flex.partition(svc).unwrap().plugged_bytes() / MIB,
+        vm.guest.process(pid).unwrap().rss_pages() * PAGE_SIZE / MIB,
+        vm.host_rss() / MIB,
+    );
+
+    // Load drops: the service frees three quarters of its heap and
+    // shrinks to fit — empty blocks unplug instantly.
+    let resident = vm.guest.process(pid).unwrap().rss_pages();
+    vm.guest.free_anon(pid, resident * 3 / 4).expect("alive");
+    let report = flex
+        .shrink_to_fit(&mut vm, &mut host, svc, &cost)
+        .expect("partition live")
+        .expect("blocks drained");
+    println!(
+        "shrunk: gave back {} MiB in {} (migrations: {})",
+        report.bytes() / MIB,
+        report.latency(),
+        report.outcome.migrated,
+    );
+    println!(
+        "steady: plugged {} MiB, host {} MiB",
+        flex.partition(svc).unwrap().plugged_bytes() / MIB,
+        vm.host_rss() / MIB,
+    );
+
+    // Shutdown: destroy the partition; the span is reusable.
+    vm.guest.exit_process(pid).expect("alive");
+    flex.detach(pid).expect("attached");
+    flex.destroy(&mut vm, &mut host, svc, &cost).expect("idle");
+    println!(
+        "destroyed: largest free span {} blocks",
+        flex.largest_free_blocks()
+    );
+}

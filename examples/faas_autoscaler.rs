@@ -1,0 +1,69 @@
+//! Drives the FaaS runtime model with a bursty trace on a Squeezy-backed
+//! N:1 VM and prints the elasticity timeline: instances, guest memory,
+//! host memory, and the reclaim statistics.
+//!
+//! ```text
+//! cargo run --release --example faas_autoscaler
+//! ```
+
+use faas::{BackendKind, Deployment, FaasSim, SimConfig};
+use sim_core::{DetRng, SimDuration};
+use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
+
+fn main() {
+    let mut rng = DetRng::new(7);
+    let arrivals = bursty_arrivals(
+        &BurstyTraceConfig {
+            duration_s: 240.0,
+            base_rps: 0.5,
+            burst_rps: 10.0,
+            mean_burst_s: 20.0,
+            mean_idle_s: 30.0,
+        },
+        &mut rng,
+    );
+    println!("trace: {} CNN invocations over 240 s", arrivals.len());
+
+    let cfg = SimConfig {
+        keepalive_s: 30.0,
+        ..SimConfig::single_vm(
+            BackendKind::Squeezy,
+            Deployment {
+                kind: FunctionKind::Cnn,
+                concurrency: 10,
+                arrivals,
+            },
+            240.0,
+        )
+    };
+    let mut result = FaasSim::new(cfg).expect("boot").run();
+
+    println!("\n  t(s)  #inst  guest(GiB)  host(GiB)");
+    let insts = result.instance_counts[0].downsample(SimDuration::secs(10));
+    let guest = result.guest_usage[0].downsample(SimDuration::secs(10));
+    let host = result.host_usage.downsample(SimDuration::secs(10));
+    for i in 0..insts.len().min(guest.len()).min(host.len()) {
+        println!(
+            "  {:>4.0}  {:>5.0}  {:>10.2}  {:>9.2}",
+            insts[i].0,
+            insts[i].1,
+            guest[i].1 / (1u64 << 30) as f64,
+            host[i].1 / (1u64 << 30) as f64,
+        );
+    }
+
+    let m = &result.per_func[&FunctionKind::Cnn];
+    let reclaims = result.total_reclaims();
+    println!(
+        "\nserved {} requests ({} cold, {} warm)",
+        result.completed, m.cold_starts, m.warm_starts
+    );
+    println!(
+        "reclaimed {} MiB in {} operations at {:.0} MiB/s — zero migrations: {}",
+        reclaims.bytes >> 20,
+        reclaims.ops,
+        reclaims.throughput_mibs(),
+        reclaims.pages_migrated == 0,
+    );
+    println!("P99 latency: {:.0} ms", result.p99_ms(FunctionKind::Cnn));
+}

@@ -1,0 +1,85 @@
+//! Quickstart: boot a VM, install Squeezy, run one instance lifecycle.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use guest_mm::{AllocPolicy, GuestMmConfig};
+use mem_types::{ByteSize, GIB, MIB};
+use sim_core::CostModel;
+use squeezy::{AttachOutcome, SqueezyConfig, SqueezyManager};
+use vmm::{HostMemory, Vm, VmConfig};
+
+fn main() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(16 * GIB);
+
+    // Boot an N:1 VM: 1 GiB of boot memory plus a hot-pluggable region
+    // for four 768 MiB function instances and a shared partition.
+    let mut vm = Vm::boot(
+        VmConfig {
+            guest: GuestMmConfig {
+                boot_bytes: GIB,
+                hotplug_bytes: 4 * GIB,
+                kernel_bytes: 192 * MIB,
+                init_on_alloc: true,
+            },
+            vcpus: 4.0,
+        },
+        &mut host,
+    )
+    .expect("host has memory");
+    println!("booted VM, host usage: {}", ByteSize(host.used_bytes()));
+
+    // Install Squeezy: N = 4 partitions of 768 MiB + 256 MiB shared.
+    let mut sq = SqueezyManager::install(
+        &mut vm,
+        SqueezyConfig {
+            partition_bytes: 768 * MIB,
+            shared_bytes: 256 * MIB,
+            concurrency: 4,
+        },
+        &cost,
+    )
+    .expect("region fits the layout");
+    println!(
+        "installed Squeezy: {} partitions x {}, shared partition populated",
+        sq.partitions().len(),
+        ByteSize(sq.partitions()[0].bytes()),
+    );
+
+    // Scale up: plug a partition and attach a new function instance.
+    let (part, plug) = sq.plug_partition(&mut vm, &cost).expect("partition");
+    println!("plugged partition {part:?} in {}", plug.latency());
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    match sq.attach(&mut vm, pid).expect("attach") {
+        AttachOutcome::Attached(p) => println!("attached instance pid={pid:?} to {p:?}"),
+        AttachOutcome::Queued => unreachable!("partition was just plugged"),
+    }
+
+    // The instance touches 300 MiB of anonymous memory (lazily backed).
+    let charge = vm
+        .touch_anon(&mut host, pid, 300 * MIB / mem_types::PAGE_SIZE, &cost)
+        .expect("fits the partition");
+    println!(
+        "instance faulted {} (host RSS now {}) in {}",
+        ByteSize(charge.pages * mem_types::PAGE_SIZE),
+        ByteSize(vm.host_rss()),
+        charge.latency,
+    );
+
+    // Scale down: the instance exits; its partition unplugs instantly.
+    vm.guest.exit_process(pid).expect("alive");
+    sq.detach(pid).expect("attached");
+    let (freed, report) = sq
+        .unplug_partition(&mut vm, &mut host, &cost)
+        .expect("free partition");
+    println!(
+        "unplugged partition {freed:?}: {} reclaimed in {} — {} migrations, {} pages zeroed",
+        ByteSize(report.bytes()),
+        report.latency(),
+        report.outcome.migrated,
+        report.outcome.zeroed,
+    );
+    println!("host usage back to {}", ByteSize(host.used_bytes()));
+}

@@ -1,0 +1,64 @@
+//! Compares the three reclamation interfaces on one scenario: a memhog
+//! instance dies and its memory goes back to the host.
+//!
+//! Reproduces the §6.1.1 microbenchmark shape at example scale:
+//! ballooning (page granularity, exit bound) < vanilla virtio-mem
+//! (migration + zeroing bound) < Squeezy (instant partition unplug).
+//!
+//! ```text
+//! cargo run --release --example reclaim_comparison [size_mib]
+//! ```
+
+use mem_types::{ByteSize, MIB};
+use sim_core::CostModel;
+use squeezy_bench::setup::{FarmKind, MemhogFarm};
+
+fn main() {
+    let size_mib: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let bytes = size_mib * MIB;
+    let cost = CostModel::default();
+    println!("reclaiming {} from a loaded 8:1 VM\n", ByteSize(bytes));
+
+    // Balloon.
+    let mut farm = MemhogFarm::build(FarmKind::Vanilla, 8, bytes, 1, &cost);
+    farm.kill(0);
+    let r = farm
+        .vm
+        .balloon_reclaim(&mut farm.host, bytes, &cost)
+        .expect("freed memory available");
+    println!(
+        "balloon:    {:>10}   ({} VM exits, {:.0}% exit-bound)",
+        r.latency().to_string(),
+        r.exits,
+        100.0 * r.breakdown.fractions()[2],
+    );
+
+    // Vanilla virtio-mem.
+    let mut farm = MemhogFarm::build(FarmKind::Vanilla, 8, bytes, 1, &cost);
+    farm.kill(0);
+    let r = farm
+        .vm
+        .unplug(&mut farm.host, mem_types::align_up_to_block(bytes), None, &cost)
+        .expect("unplug");
+    println!(
+        "virtio-mem: {:>10}   ({} pages migrated, {} zeroed)",
+        r.latency().to_string(),
+        r.outcome.migrated,
+        r.outcome.zeroed,
+    );
+
+    // Squeezy.
+    let mut farm = MemhogFarm::build(FarmKind::Squeezy, 8, bytes, 1, &cost);
+    farm.kill(0);
+    let sq = farm.squeezy.as_mut().expect("squeezy farm");
+    let (_, r) = sq
+        .unplug_partition(&mut farm.vm, &mut farm.host, &cost)
+        .expect("free partition");
+    println!(
+        "squeezy:    {:>10}   (0 migrations, 0 zeroed — partition unplug)",
+        r.latency().to_string(),
+    );
+}

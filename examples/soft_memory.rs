@@ -1,0 +1,99 @@
+//! Soft-memory partitions (§7): idle keep-alive instances donate their
+//! memory back under host pressure and rebuild it on the next request.
+//!
+//! ```text
+//! cargo run --release --example soft_memory
+//! ```
+
+use guest_mm::{AllocPolicy, GuestMmConfig};
+use mem_types::{GIB, MIB};
+use sim_core::CostModel;
+use squeezy::{SoftWake, SqueezyConfig, SqueezyManager};
+use vmm::{HostMemory, Vm, VmConfig};
+
+fn main() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(16 * GIB);
+    let mut vm = Vm::boot(
+        VmConfig {
+            guest: GuestMmConfig {
+                boot_bytes: GIB,
+                hotplug_bytes: 4 * GIB,
+                kernel_bytes: 192 * MIB,
+                init_on_alloc: true,
+            },
+            vcpus: 4.0,
+        },
+        &mut host,
+    )
+    .expect("host fits");
+    let mut sq = SqueezyManager::install(
+        &mut vm,
+        SqueezyConfig {
+            partition_bytes: 768 * MIB,
+            shared_bytes: 256 * MIB,
+            concurrency: 4,
+        },
+        &cost,
+    )
+    .expect("layout fits");
+
+    // Three warm instances, each holding a 400 MiB heap.
+    let mut pids = Vec::new();
+    for _ in 0..3 {
+        sq.plug_partition(&mut vm, &cost).expect("partition");
+        let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+        sq.attach(&mut vm, pid).expect("attach");
+        vm.touch_anon(&mut host, pid, 400 * MIB / 4096, &cost)
+            .expect("heap fits");
+        pids.push(pid);
+    }
+    println!(
+        "3 warm instances: host holds {} MiB",
+        vm.host_rss() / MIB
+    );
+
+    // The instances go idle; their runtimes mark the heaps soft.
+    for &pid in &pids {
+        sq.mark_soft(pid).expect("attached");
+    }
+
+    // Host pressure: revoke two soft partitions — instantly, no
+    // migrations, while the instances stay alive.
+    let revoked = sq
+        .revoke_soft(&mut vm, &mut host, 2, &cost)
+        .expect("revocable");
+    for (id, report) in &revoked {
+        println!(
+            "revoked partition {:?} in {} (migrations: {})",
+            id,
+            report.latency(),
+            report.outcome.migrated,
+        );
+    }
+    println!(
+        "after revocation: host holds {} MiB, {} instances still alive",
+        vm.host_rss() / MIB,
+        pids.len(),
+    );
+
+    // A request arrives for each instance; revoked ones re-plug and
+    // rebuild, the survivor wakes warm.
+    for &pid in &pids {
+        match sq.mark_firm(pid).expect("attached") {
+            SoftWake::Warm => println!("{pid:?}: warm start (heap intact)"),
+            SoftWake::NeedsReplug => {
+                let plug = sq.replug(&mut vm, pid, &cost).expect("revoked");
+                let refault = vm
+                    .touch_anon(&mut host, pid, 400 * MIB / 4096, &cost)
+                    .expect("heap fits");
+                println!(
+                    "{pid:?}: soft-cold start (replug {} + rebuild {})",
+                    plug.latency(),
+                    refault.latency,
+                );
+            }
+        }
+    }
+    println!("steady state again: host holds {} MiB", vm.host_rss() / MIB);
+}

@@ -1,0 +1,73 @@
+//! Temporal segregation (§7, FaaSMem): reclaim a function's scratch
+//! memory after every invocation, not just at instance eviction.
+//!
+//! ```text
+//! cargo run --release --example temporal_invocations
+//! ```
+
+use guest_mm::{AllocPolicy, GuestMmConfig};
+use mem_types::{GIB, MIB, PAGE_SIZE};
+use sim_core::CostModel;
+use squeezy::{FlexManager, TemporalInstance};
+use vmm::{HostMemory, Vm, VmConfig};
+
+fn main() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(16 * GIB);
+    let mut vm = Vm::boot(
+        VmConfig {
+            guest: GuestMmConfig {
+                boot_bytes: GIB,
+                hotplug_bytes: 4 * GIB,
+                kernel_bytes: 192 * MIB,
+                init_on_alloc: true,
+            },
+            vcpus: 2.0,
+        },
+        &mut host,
+    )
+    .expect("host fits");
+    let mut flex = FlexManager::install(&mut vm);
+
+    // One instance: 256 MiB of base runtime state that lives across
+    // invocations, plus a 512 MiB per-invocation scratch region.
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    let (mut inst, _) =
+        TemporalInstance::create(&mut flex, &mut vm, pid, 256 * MIB, 512 * MIB, &cost)
+            .expect("layout fits");
+    vm.touch_anon(&mut host, pid, 200 * MIB / PAGE_SIZE, &cost)
+        .expect("base fits");
+    println!("instance warm: host holds {} MiB (base only)", vm.host_rss() / MIB);
+
+    for invocation in 1..=3 {
+        // Invocation starts: the scratch partition plugs in.
+        inst.begin_invocation(&mut flex, &mut vm, &cost)
+            .expect("span reserved");
+        vm.touch_anon(&mut host, pid, 400 * MIB / PAGE_SIZE, &cost)
+            .expect("scratch fits");
+        println!(
+            "invocation {invocation} running: host holds {} MiB (base + scratch)",
+            vm.host_rss() / MIB,
+        );
+
+        // Invocation ends: scratch drains and unplugs instantly.
+        let report = inst
+            .end_invocation(&mut flex, &mut vm, &mut host, &cost)
+            .expect("drained")
+            .expect("blocks reclaimed");
+        println!(
+            "invocation {invocation} done: reclaimed {} MiB in {} (migrations: {}), \
+             host back to {} MiB",
+            report.bytes() / MIB,
+            report.latency(),
+            report.outcome.migrated,
+            vm.host_rss() / MIB,
+        );
+    }
+
+    // Instance eviction reclaims the base partition too.
+    vm.guest.exit_process(pid).expect("alive");
+    inst.destroy(&mut flex, &mut vm, &mut host, &cost)
+        .expect("both partitions reclaimed");
+    println!("instance evicted: host holds {} MiB", vm.host_rss() / MIB);
+}

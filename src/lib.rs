@@ -1,0 +1,28 @@
+//! Umbrella crate for the Squeezy reproduction workspace.
+//!
+//! Re-exports the layered crates so examples and integration tests can
+//! use one façade:
+//!
+//! * [`mem_types`] / [`sim_core`] — units and the simulation core;
+//! * [`guest_mm`] — the guest kernel memory manager (incl. THP, swap
+//!   primitives);
+//! * [`virtio_mem`] / [`balloon`] / [`swap`] / [`vmm`] — devices
+//!   (hot(un)plug, ballooning + free page reporting, swap) and the host
+//!   side;
+//! * [`squeezy`] — the paper's contribution: partitioned guest memory,
+//!   plus the §7 extensions (flex / soft / temporal partitions);
+//! * [`workloads`] / [`faas`] — workloads and the FaaS runtime model
+//!   (incl. hybrid scaling);
+//! * [`squeezy_bench`] — the table/figure/ablation reproduction harness.
+
+pub use balloon;
+pub use swap;
+pub use faas;
+pub use guest_mm;
+pub use mem_types;
+pub use sim_core;
+pub use squeezy;
+pub use squeezy_bench;
+pub use virtio_mem;
+pub use vmm;
+pub use workloads;

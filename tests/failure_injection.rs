@@ -1,0 +1,299 @@
+//! Failure-injection tests: every error path leaves the stack
+//! consistent and retryable.
+
+use guest_mm::{AllocPolicy, GuestMmConfig, MmError};
+use mem_types::{GIB, MIB, PAGES_PER_BLOCK, PAGE_SIZE};
+use sim_core::{CostModel, SimDuration};
+use squeezy::{AttachOutcome, SqueezyConfig, SqueezyError, SqueezyManager};
+use vmm::{HostMemory, Vm, VmConfig, VmmError};
+
+fn vm_config(hotplug: u64) -> VmConfig {
+    VmConfig {
+        guest: GuestMmConfig {
+            boot_bytes: 256 * MIB,
+            hotplug_bytes: hotplug,
+            kernel_bytes: 32 * MIB,
+            init_on_alloc: true,
+        },
+        vcpus: 2.0,
+    }
+}
+
+/// Host exhaustion surfaces as `HostOom`, leaves the guest consistent,
+/// and the exact same fault succeeds once memory frees up.
+#[test]
+fn host_oom_is_retryable() {
+    let cost = CostModel::default();
+    // Two VMs on a host that cannot back both working sets.
+    let mut host = HostMemory::new(700 * MIB);
+    let mut vm1 = Vm::boot(vm_config(GIB), &mut host).unwrap();
+    let mut vm2 = Vm::boot(vm_config(GIB), &mut host).unwrap();
+    vm1.plug(512 * MIB, &cost).unwrap();
+    vm2.plug(512 * MIB, &cost).unwrap();
+
+    let p1 = vm1.guest.spawn_process(AllocPolicy::MovableDefault);
+    let p2 = vm2.guest.spawn_process(AllocPolicy::MovableDefault);
+    vm1.touch_anon(&mut host, p1, 400 * MIB / PAGE_SIZE, &cost)
+        .unwrap();
+    let r = vm2.touch_anon(&mut host, p2, 400 * MIB / PAGE_SIZE, &cost);
+    assert_eq!(r.unwrap_err(), VmmError::HostOom);
+    vm2.guest.assert_consistent();
+
+    // VM1 shrinks; the retry of the *remaining* pages now fits.
+    vm1.guest.exit_process(p1).unwrap();
+    vm1.unplug(&mut host, 512 * MIB, None, &cost).unwrap();
+    let missing = 400 * MIB / PAGE_SIZE - vm2.guest.process(p2).unwrap().rss_pages();
+    vm2.touch_anon(&mut host, p2, missing, &cost).unwrap();
+    assert_eq!(
+        vm2.guest.process(p2).unwrap().rss_pages(),
+        400 * MIB / PAGE_SIZE
+    );
+    assert_eq!(host.used_bytes(), vm1.host_rss() + vm2.host_rss());
+}
+
+/// A deadline-cut unplug reports its shortfall and wasted work; the
+/// retry without a deadline finishes the job.
+#[test]
+fn unplug_timeout_shortfall_then_retry() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(8 * GIB);
+    let mut vm = Vm::boot(vm_config(2 * GIB), &mut host).unwrap();
+    vm.plug(2 * GIB, &cost).unwrap();
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    // Occupy a quarter of every block so each offline must migrate.
+    vm.touch_anon(&mut host, pid, 4 * PAGES_PER_BLOCK, &cost)
+        .unwrap();
+
+    let report = vm
+        .unplug(&mut host, GIB, Some(SimDuration::millis(20)), &cost)
+        .unwrap();
+    assert!(report.shortfall_bytes > 0, "deadline cut the request");
+    assert!(report.bytes() < GIB);
+    vm.guest.assert_consistent();
+
+    // Retry with no deadline reclaims the remainder.
+    let retry = vm.unplug(&mut host, report.shortfall_bytes, None, &cost).unwrap();
+    assert_eq!(retry.shortfall_bytes, 0);
+    assert_eq!(retry.bytes(), report.shortfall_bytes);
+    vm.guest.assert_consistent();
+    assert_eq!(host.used_bytes(), vm.host_rss());
+}
+
+/// Offline failure from migration-target exhaustion rolls back, keeps
+/// the block online, and succeeds once memory is freed.
+#[test]
+fn offline_failure_rolls_back_and_retries() {
+    let mut mm = guest_mm::GuestMm::new(GuestMmConfig {
+        boot_bytes: 128 * MIB,
+        hotplug_bytes: 256 * MIB,
+        kernel_bytes: 16 * MIB,
+        init_on_alloc: true,
+    });
+    let b = mem_types::BlockId(1);
+    mm.hot_add_block(b).unwrap();
+    mm.online_block(b, guest_mm::ZONE_MOVABLE).unwrap();
+    let hog = mm.spawn_process(AllocPolicy::MovableDefault);
+    let free = mm.free_bytes() / PAGE_SIZE;
+    mm.fault_anon(hog, free - 50).unwrap();
+
+    let failure = mm.offline_block(b).unwrap_err();
+    assert_eq!(failure.error, MmError::OutOfMemory);
+    assert!(matches!(
+        mm.blocks().state(b),
+        guest_mm::BlockState::Online { .. }
+    ));
+    mm.assert_consistent();
+
+    // Free enough memory elsewhere; the same offline now succeeds.
+    mm.free_anon(hog, free * 3 / 4).unwrap();
+    let out = mm.offline_block(b).unwrap();
+    assert!(out.migrated > 0 || out.isolated_free > 0);
+    mm.assert_consistent();
+}
+
+/// The OOM-killer containment path: an instance that overruns its
+/// partition dies, and its partition unplugs instantly and is reusable.
+#[test]
+fn partition_overrun_kill_reclaim_reuse() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(8 * GIB);
+    let mut vm = Vm::boot(vm_config(2 * GIB), &mut host).unwrap();
+    let mut sq = SqueezyManager::install(
+        &mut vm,
+        SqueezyConfig {
+            partition_bytes: 256 * MIB,
+            shared_bytes: 0,
+            concurrency: 2,
+        },
+        &cost,
+    )
+    .unwrap();
+    sq.plug_partition(&mut vm, &cost).unwrap();
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    sq.attach(&mut vm, pid).unwrap();
+
+    // Overrun: the partition OOMs (the guest OOM killer would now fire).
+    let r = vm.touch_anon(&mut host, pid, 256 * MIB / PAGE_SIZE + 1, &cost);
+    assert!(matches!(r, Err(VmmError::Guest(MmError::OutOfMemory))));
+
+    // Kill + detach + unplug: still zero migrations.
+    vm.guest.exit_process(pid).unwrap();
+    sq.detach(pid).unwrap();
+    let (_, report) = sq.unplug_partition(&mut vm, &mut host, &cost).unwrap();
+    assert_eq!(report.outcome.migrated, 0);
+
+    // The partition plugs again for the next instance.
+    let (id, _) = sq.plug_partition(&mut vm, &cost).unwrap();
+    let pid2 = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    assert_eq!(sq.attach(&mut vm, pid2).unwrap(), AttachOutcome::Attached(id));
+    vm.touch_anon(&mut host, pid2, 1000, &cost).unwrap();
+    vm.guest.assert_consistent();
+}
+
+/// Waitqueue stress: attach requests beyond populated capacity park in
+/// FIFO order and wake exactly as plugs (or frees) provide partitions.
+#[test]
+fn waitqueue_wakes_fifo_under_stress() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(8 * GIB);
+    let mut vm = Vm::boot(vm_config(2 * GIB), &mut host).unwrap();
+    let mut sq = SqueezyManager::install(
+        &mut vm,
+        SqueezyConfig {
+            partition_bytes: 128 * MIB,
+            shared_bytes: 0,
+            concurrency: 8,
+        },
+        &cost,
+    )
+    .unwrap();
+
+    // Eight requests race ahead of any plug.
+    let pids: Vec<_> = (0..8)
+        .map(|_| vm.guest.spawn_process(AllocPolicy::MovableDefault))
+        .collect();
+    for &pid in &pids {
+        assert_eq!(sq.attach(&mut vm, pid).unwrap(), AttachOutcome::Queued);
+    }
+    assert_eq!(sq.waitqueue_len(), 8);
+    assert_eq!(sq.stats().queued_attaches, 8);
+
+    // Three plugs wake the first three waiters, in order.
+    for _ in 0..3 {
+        sq.plug_partition(&mut vm, &cost).unwrap();
+    }
+    let woken = sq.wake_waiters(&mut vm);
+    let woken_pids: Vec<_> = woken.iter().map(|&(p, _)| p).collect();
+    assert_eq!(woken_pids, pids[..3].to_vec(), "FIFO order");
+    assert_eq!(sq.waitqueue_len(), 5);
+
+    // A freed partition (exit + detach) serves the next waiter.
+    vm.guest.exit_process(pids[0]).unwrap();
+    sq.detach(pids[0]).unwrap();
+    let woken = sq.wake_waiters(&mut vm);
+    assert_eq!(woken.len(), 1);
+    assert_eq!(woken[0].0, pids[3]);
+
+    // Remaining waiters wake as the rest of the partitions plug.
+    for _ in 0..4 {
+        sq.plug_partition(&mut vm, &cost).unwrap();
+    }
+    assert_eq!(sq.wake_waiters(&mut vm).len(), 4);
+    assert_eq!(sq.waitqueue_len(), 0);
+}
+
+/// Soft revocation of a fork family drops every member's pages.
+#[test]
+fn revoke_soft_covers_fork_children() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(8 * GIB);
+    let mut vm = Vm::boot(vm_config(2 * GIB), &mut host).unwrap();
+    let mut sq = SqueezyManager::install(
+        &mut vm,
+        SqueezyConfig {
+            partition_bytes: 256 * MIB,
+            shared_bytes: 0,
+            concurrency: 2,
+        },
+        &cost,
+    )
+    .unwrap();
+    sq.plug_partition(&mut vm, &cost).unwrap();
+    let parent = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    sq.attach(&mut vm, parent).unwrap();
+    let child = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    sq.fork_attach(&mut vm, parent, child).unwrap();
+    vm.touch_anon(&mut host, parent, 2000, &cost).unwrap();
+    vm.touch_anon(&mut host, child, 3000, &cost).unwrap();
+
+    // Parent marks the family's partition soft; pressure revokes it.
+    sq.mark_soft(parent).unwrap();
+    sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+    assert_eq!(vm.guest.process(parent).unwrap().rss_pages(), 0);
+    assert_eq!(vm.guest.process(child).unwrap().rss_pages(), 0);
+    vm.guest.assert_consistent();
+
+    // Both survive; the family replugs through either member.
+    sq.replug(&mut vm, child, &cost).unwrap();
+    vm.touch_anon(&mut host, parent, 100, &cost).unwrap();
+    vm.touch_anon(&mut host, child, 100, &cost).unwrap();
+}
+
+/// Double operations fail cleanly without corrupting state.
+#[test]
+fn double_operations_rejected_cleanly() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(8 * GIB);
+    let mut vm = Vm::boot(vm_config(2 * GIB), &mut host).unwrap();
+    let mut sq = SqueezyManager::install(
+        &mut vm,
+        SqueezyConfig {
+            partition_bytes: 256 * MIB,
+            shared_bytes: 0,
+            concurrency: 1,
+        },
+        &cost,
+    )
+    .unwrap();
+    sq.plug_partition(&mut vm, &cost).unwrap();
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    sq.attach(&mut vm, pid).unwrap();
+    sq.mark_soft(pid).unwrap();
+    sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+
+    // Double revoke: nothing soft left.
+    let again = sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+    assert!(again.is_empty());
+    // Replug twice: the second is rejected.
+    sq.replug(&mut vm, pid, &cost).unwrap();
+    assert!(matches!(
+        sq.replug(&mut vm, pid, &cost),
+        Err(SqueezyError::PartitionBusy)
+    ));
+    // Unplugging with everything assigned: nothing reclaimable.
+    assert!(matches!(
+        sq.unplug_partition(&mut vm, &mut host, &cost),
+        Err(SqueezyError::NoReclaimablePartition)
+    ));
+    vm.guest.assert_consistent();
+}
+
+/// Balloon inflation into an almost-full guest stops at exhaustion
+/// instead of deadlocking or corrupting the buddy.
+#[test]
+fn balloon_stops_at_guest_exhaustion() {
+    let cost = CostModel::default();
+    let mut host = HostMemory::new(8 * GIB);
+    let mut vm = Vm::boot(vm_config(GIB), &mut host).unwrap();
+    vm.plug(GIB, &cost).unwrap();
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    let free = vm.guest.free_bytes();
+    vm.touch_anon(&mut host, pid, (free - 64 * MIB) / PAGE_SIZE, &cost)
+        .unwrap();
+
+    // Ask the balloon for 4x what is left.
+    let report = vm.balloon_reclaim(&mut host, 256 * MIB, &cost).unwrap();
+    assert!(report.bytes() <= 64 * MIB, "inflation capped by free memory");
+    vm.guest.assert_consistent();
+    assert_eq!(host.used_bytes(), vm.host_rss());
+}
