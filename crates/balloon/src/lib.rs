@@ -146,12 +146,7 @@ impl BalloonDevice {
     /// # Panics
     ///
     /// Panics if `bytes` is not page-aligned.
-    pub fn deflate(
-        &mut self,
-        guest: &mut GuestMm,
-        bytes: u64,
-        cost: &CostModel,
-    ) -> BalloonReport {
+    pub fn deflate(&mut self, guest: &mut GuestMm, bytes: u64, cost: &CostModel) -> BalloonReport {
         let want = mem_types::bytes_to_pages(bytes).min(self.held.len() as u64);
         let mut report = BalloonReport {
             pages: want,

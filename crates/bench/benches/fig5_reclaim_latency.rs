@@ -13,7 +13,10 @@ fn bench_reclaim(c: &mut Criterion) {
     let cost = CostModel::default();
     let mut group = c.benchmark_group("fig5_reclaim_256MiB");
     group.sample_size(10);
-    for (name, kind) in [("virtio-mem", FarmKind::Vanilla), ("squeezy", FarmKind::Squeezy)] {
+    for (name, kind) in [
+        ("virtio-mem", FarmKind::Vanilla),
+        ("squeezy", FarmKind::Squeezy),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter_batched(
                 || {
@@ -22,12 +25,11 @@ fn bench_reclaim(c: &mut Criterion) {
                     farm
                 },
                 |mut farm| match kind {
-                    FarmKind::Vanilla => {
-                        farm.vm
-                            .unplug(&mut farm.host, 256 * MIB, None, &cost)
-                            .unwrap()
-                            .latency()
-                    }
+                    FarmKind::Vanilla => farm
+                        .vm
+                        .unplug(&mut farm.host, 256 * MIB, None, &cost)
+                        .unwrap()
+                        .latency(),
                     FarmKind::Squeezy => {
                         let sq = farm.squeezy.as_mut().unwrap();
                         sq.unplug_partition(&mut farm.vm, &mut farm.host, &cost)

@@ -85,8 +85,11 @@ pub fn render(rows: &[Fig11Row]) -> String {
         .map(|r| r.one_footprint as f64 / r.n_footprint as f64)
         .collect();
     let mean_fp = fp_ratios.iter().sum::<f64>() / fp_ratios.len() as f64;
-    let vmm_1to1: f64 =
-        rows.iter().map(|r| r.one_to_one.vmm_fraction()).sum::<f64>() / rows.len() as f64;
+    let vmm_1to1: f64 = rows
+        .iter()
+        .map(|r| r.one_to_one.vmm_fraction())
+        .sum::<f64>()
+        / rows.len() as f64;
     let vmm_n: f64 =
         rows.iter().map(|r| r.n_to_one.vmm_fraction()).sum::<f64>() / rows.len() as f64;
 

@@ -53,13 +53,7 @@ impl Fig2Config {
 /// Runs the churn analysis over synthesized Azure-like traces.
 pub fn run(cfg: &Fig2Config) -> ChurnResult {
     let mut rng = DetRng::new(cfg.seed);
-    let traces = zipf_function_traces(
-        cfg.functions,
-        cfg.duration_s,
-        cfg.total_rps,
-        1.0,
-        &mut rng,
-    );
+    let traces = zipf_function_traces(cfg.functions, cfg.duration_s, cfg.total_rps, 1.0, &mut rng);
     let exec = vec![cfg.exec_s; cfg.functions];
     analyze_churn(&traces, &exec, cfg.keepalive_s, cfg.duration_s)
 }

@@ -70,12 +70,7 @@ pub fn run(cfg: &Fig5Config) -> Vec<Fig5Row> {
     rows
 }
 
-fn run_method(
-    method: &str,
-    bytes: u64,
-    cfg: &Fig5Config,
-    cost: &CostModel,
-) -> LatencyBreakdown {
+fn run_method(method: &str, bytes: u64, cfg: &Fig5Config, cost: &CostModel) -> LatencyBreakdown {
     let kind = if method == "Squeezy" {
         FarmKind::Squeezy
     } else {

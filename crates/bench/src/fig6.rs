@@ -188,9 +188,8 @@ pub fn render(points: &[Fig6Point]) -> String {
             format!("{:.0}", p.squeezy_ms),
         ]);
     }
-    let mut out = String::from(
-        "Figure 6: reclaiming 2 GiB out of a 64 GiB VM vs. memory utilization\n",
-    );
+    let mut out =
+        String::from("Figure 6: reclaiming 2 GiB out of a 64 GiB VM vs. memory utilization\n");
     out.push_str(&t.render());
     if let (Some(first), Some(last)) = (points.first(), points.last()) {
         out.push_str(&format!(

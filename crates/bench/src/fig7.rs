@@ -182,9 +182,8 @@ pub fn render(series: &[Fig7Series]) -> String {
             format!("{:.1}", 100.0 * s.peak_host()),
         ]);
     }
-    let mut out = String::from(
-        "Figure 7: CPU utilization of the reclaim kernel threads (guest and host)\n",
-    );
+    let mut out =
+        String::from("Figure 7: CPU utilization of the reclaim kernel threads (guest and host)\n");
     out.push_str(&t.render());
     out.push_str(
         "(paper: balloon spikes host CPU, virtio-mem's guest kthread migrates heavily,\n\

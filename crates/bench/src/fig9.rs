@@ -186,9 +186,8 @@ pub fn render(series: &[Fig9Series], cfg: &Fig9Config) -> String {
     let spike = peak_in(virtio, down - 2.0, to);
     let squeezy_spike = peak_in(squeezy, down - 2.0, to);
     let squeezy_base = squeezy.window_mean(from - 20.0, down - 2.0);
-    let mut out = format!(
-        "Figure 9: CNN request latency around the HTML scale-down (t ≈ {down:.0} s)\n"
-    );
+    let mut out =
+        format!("Figure 9: CNN request latency around the HTML scale-down (t ≈ {down:.0} s)\n");
     out.push_str(&t.render());
     out.push_str(&format!(
         "virtio-mem: {baseline:.0} ms baseline -> {spike:.0} ms peak ({:.1}x slowdown; paper: >2x)\n\

@@ -271,8 +271,7 @@ mod tests {
         // Reporting leaves the freed memory allocatable in the guest;
         // balloon pins it; unplug removes it.
         assert!(
-            get("free-page-reporting").usable_after_mib
-                > get("balloon").usable_after_mib + 100.0
+            get("free-page-reporting").usable_after_mib > get("balloon").usable_after_mib + 100.0
         );
         assert!(
             get("free-page-reporting").usable_after_mib

@@ -117,11 +117,7 @@ impl MemhogFarm {
     /// footprint in pages.
     pub fn kill(&mut self, idx: usize) -> u64 {
         let hog = self.hogs[idx];
-        let freed = self
-            .vm
-            .guest
-            .exit_process(hog.pid)
-            .expect("hog alive");
+        let freed = self.vm.guest.exit_process(hog.pid).expect("hog alive");
         if let Some(sq) = self.squeezy.as_mut() {
             sq.detach(hog.pid).expect("hog attached");
         }
@@ -156,13 +152,7 @@ pub fn fill_interleaved(vm: &mut Vm, host: &mut HostMemory, hogs: &[Memhog], cos
 /// Runs `rounds` of concurrent free/refault churn over a quarter of each
 /// hog's footprint, scattering footprints the way long-running memhogs
 /// do.
-pub fn churn(
-    vm: &mut Vm,
-    host: &mut HostMemory,
-    hogs: &[Memhog],
-    rounds: u32,
-    cost: &CostModel,
-) {
+pub fn churn(vm: &mut Vm, host: &mut HostMemory, hogs: &[Memhog], rounds: u32, cost: &CostModel) {
     let mut rng = DetRng::new(0xC0FFEE);
     for _ in 0..rounds {
         let mut order: Vec<usize> = (0..hogs.len()).collect();

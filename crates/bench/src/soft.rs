@@ -112,9 +112,7 @@ fn measure(kind: FunctionKind, policy: IdlePolicy, cost: &CostModel) -> SoftRow 
         &mut vm,
         SqueezyConfig {
             partition_bytes: profile.memory_limit.bytes(),
-            shared_bytes: mem_types::align_up_to_block(
-                profile.deps_bytes + profile.rootfs_bytes,
-            ),
+            shared_bytes: mem_types::align_up_to_block(profile.deps_bytes + profile.rootfs_bytes),
             concurrency: 2,
         },
         cost,
@@ -203,10 +201,7 @@ fn measure(kind: FunctionKind, policy: IdlePolicy, cost: &CostModel) -> SoftRow 
             // Soft-cold start: the wake discovers the revocation,
             // re-plugs, and rebuilds only the anonymous state; the
             // container and runtime process survived.
-            assert_eq!(
-                sq.mark_firm(pid).expect("attached"),
-                SoftWake::NeedsReplug
-            );
+            assert_eq!(sq.mark_firm(pid).expect("attached"), SoftWake::NeedsReplug);
             let plug = sq.replug(&mut vm, pid, cost).expect("revoked");
             let deps = vm
                 .touch_file(&mut host, kind.deps_file(), profile.deps_pages(), cost)
@@ -258,8 +253,7 @@ pub fn render(rows: &[SoftRow]) -> String {
             format!("{:.0}", r.restart_ms),
         ]);
     }
-    let mut out =
-        String::from("Ablation: soft-memory partitions for keep-alive instances (§7)\n");
+    let mut out = String::from("Ablation: soft-memory partitions for keep-alive instances (§7)\n");
     out.push_str(&t.render());
     // Geomean speedup of soft restart over evict restart.
     let mut ratio = 1.0;
@@ -305,9 +299,11 @@ mod tests {
             // Firm holds everything; evict and soft release the
             // instance's private footprint.
             assert_eq!(firm.released_mib, 0.0);
-            let anon_mib =
-                kind.profile().anon_pages() as f64 * PAGE_SIZE as f64 / MIB as f64;
-            assert!(evict.released_mib >= anon_mib, "{kind:?} evict releases anon");
+            let anon_mib = kind.profile().anon_pages() as f64 * PAGE_SIZE as f64 / MIB as f64;
+            assert!(
+                evict.released_mib >= anon_mib,
+                "{kind:?} evict releases anon"
+            );
             assert!(soft.released_mib >= anon_mib, "{kind:?} soft releases anon");
             // Restart order: firm < soft < evict.
             assert!(firm.restart_ms < soft.restart_ms);

@@ -120,7 +120,8 @@ fn measure(
                 .create(&mut vm, total, total, cost)
                 .expect("layout fits");
             flex.attach(&mut vm, id, pid).expect("attach");
-            vm.touch_anon(&mut host, pid, base, cost).expect("base fits");
+            vm.touch_anon(&mut host, pid, base, cost)
+                .expect("base fits");
             for _ in 0..rounds {
                 let c = vm.touch_anon(&mut host, pid, scratch, cost).expect("fits");
                 invoke += c.latency;
@@ -130,11 +131,11 @@ fn measure(
             }
         }
         Granularity::Invocation => {
-            let (mut inst, _) = TemporalInstance::create(
-                &mut flex, &mut vm, pid, base_bytes, scratch_bytes, cost,
-            )
-            .expect("layout fits");
-            vm.touch_anon(&mut host, pid, base, cost).expect("base fits");
+            let (mut inst, _) =
+                TemporalInstance::create(&mut flex, &mut vm, pid, base_bytes, scratch_bytes, cost)
+                    .expect("layout fits");
+            vm.touch_anon(&mut host, pid, base, cost)
+                .expect("base fits");
             for _ in 0..rounds {
                 if let Some(plug) = inst
                     .begin_invocation(&mut flex, &mut vm, cost)
@@ -165,12 +166,7 @@ fn measure(
 
 /// Renders the ablation.
 pub fn render(rows: &[TemporalRow]) -> String {
-    let mut t = TextTable::new(&[
-        "Function",
-        "Granularity",
-        "Idle(MiB)",
-        "MM-per-invoke(ms)",
-    ]);
+    let mut t = TextTable::new(&["Function", "Granularity", "Idle(MiB)", "MM-per-invoke(ms)"]);
     for r in rows {
         t.row(vec![
             r.kind.name().to_string(),

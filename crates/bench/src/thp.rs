@@ -194,7 +194,8 @@ fn contiguity(cfg: &ThpConfig, cost: &CostModel) -> (f64, f64) {
         .guest
         .spawn_process(guest_mm::AllocPolicy::PinnedZone(guest_mm::ZONE_MOVABLE));
     let zone_pages = vm.guest.zone(guest_mm::ZONE_MOVABLE).free_pages;
-    vm.touch_anon(&mut host, pid, zone_pages, cost).expect("fits");
+    vm.touch_anon(&mut host, pid, zone_pages, cost)
+        .expect("fits");
     let mut rng = sim_core::DetRng::new(0x7867);
     let mut freed = 0u64;
     for _ in 0..cfg.aging_rounds.max(1) {
@@ -229,12 +230,11 @@ fn contiguity(cfg: &ThpConfig, cost: &CostModel) -> (f64, f64) {
     )
     .expect("layout fits");
     sq.plug_partition(&mut svm, cost).expect("partition");
-    let sprober = svm.guest.spawn_process(guest_mm::AllocPolicy::MovableDefault);
-    sq.attach(&mut svm, sprober).expect("attach");
-    let part_out = svm
+    let sprober = svm
         .guest
-        .fault_anon_huge(sprober, want_huge)
-        .expect("fits");
+        .spawn_process(guest_mm::AllocPolicy::MovableDefault);
+    sq.attach(&mut svm, sprober).expect("attach");
+    let part_out = svm.guest.fault_anon_huge(sprober, want_huge).expect("fits");
     (aged_rate, part_out.huge_success_rate().unwrap_or(0.0))
 }
 

@@ -167,10 +167,7 @@ impl FlexManager {
             .ok_or(SqueezyError::RegionTooSmall)?;
         let id = PartitionId(self.next_id);
         self.next_id += 1;
-        let span = FrameRange::new(
-            BlockId(start).first_frame(),
-            span_blocks * PAGES_PER_BLOCK,
-        );
+        let span = FrameRange::new(BlockId(start).first_frame(), span_blocks * PAGES_PER_BLOCK);
         let kind = ZoneKind::SqueezyPrivate { partition: id.0 };
         let zone = match self.spare_zones.pop() {
             Some(z) => {
@@ -180,7 +177,10 @@ impl FlexManager {
             None => vm.guest.create_zone(kind, span),
         };
         let blocks: Vec<BlockId> = (start..start + initial_blocks).map(BlockId).collect();
-        let report = match vm.virtio_mem.plug_blocks(&mut vm.guest, &blocks, zone, cost) {
+        let report = match vm
+            .virtio_mem
+            .plug_blocks(&mut vm.guest, &blocks, zone, cost)
+        {
             Ok(r) => r,
             Err(e) => {
                 self.spare_zones.push(zone);
@@ -212,7 +212,8 @@ impl FlexManager {
             .parts
             .get_mut(&id.0)
             .ok_or(SqueezyError::NoReclaimablePartition)?;
-        vm.guest.set_policy(pid, AllocPolicy::PinnedZone(part.zone))?;
+        vm.guest
+            .set_policy(pid, AllocPolicy::PinnedZone(part.zone))?;
         part.users += 1;
         self.attached.insert(pid.0, id);
         Ok(())
@@ -224,7 +225,10 @@ impl FlexManager {
             .attached
             .remove(&pid.0)
             .ok_or(SqueezyError::NotAttached)?;
-        let part = self.parts.get_mut(&id.0).expect("attached to live partition");
+        let part = self
+            .parts
+            .get_mut(&id.0)
+            .expect("attached to live partition");
         debug_assert!(part.users > 0);
         part.users -= 1;
         Ok(id)
@@ -246,8 +250,7 @@ impl FlexManager {
             .ok_or(SqueezyError::NoReclaimablePartition)?;
         let want = align_up_to_block(bytes) / MEM_BLOCK_SIZE;
         // Candidate blocks: span members not currently plugged.
-        let plugged: std::collections::HashSet<u64> =
-            part.plugged.iter().map(|b| b.0).collect();
+        let plugged: std::collections::HashSet<u64> = part.plugged.iter().map(|b| b.0).collect();
         let fresh: Vec<BlockId> = (part.start_block..part.start_block + part.span_blocks)
             .filter(|b| !plugged.contains(b))
             .take(want as usize)
@@ -257,7 +260,9 @@ impl FlexManager {
             return Err(SqueezyError::RatedSizeExceeded);
         }
         let zone = part.zone;
-        let report = vm.virtio_mem.plug_blocks(&mut vm.guest, &fresh, zone, cost)?;
+        let report = vm
+            .virtio_mem
+            .plug_blocks(&mut vm.guest, &fresh, zone, cost)?;
         self.parts
             .get_mut(&id.0)
             .expect("still live")
@@ -352,9 +357,7 @@ impl FlexManager {
     /// Returns a span to the free list, merging with neighbours.
     fn put_span(&mut self, start: u64, nblocks: u64) {
         debug_assert!(start >= self.region_start);
-        let pos = self
-            .free_spans
-            .partition_point(|&(s, _)| s < start);
+        let pos = self.free_spans.partition_point(|&(s, _)| s < start);
         self.free_spans.insert(pos, (start, nblocks));
         // Merge with the next span.
         if pos + 1 < self.free_spans.len() {
@@ -409,9 +412,7 @@ mod tests {
     #[test]
     fn create_plugs_initial_prefix_only() {
         let (mut vm, _host, mut flex, cost) = setup();
-        let (id, plug) = flex
-            .create(&mut vm, 1024 * MIB, 256 * MIB, &cost)
-            .unwrap();
+        let (id, plug) = flex.create(&mut vm, 1024 * MIB, 256 * MIB, &cost).unwrap();
         let p = flex.partition(id).unwrap();
         assert_eq!(p.rated_bytes(), 1024 * MIB);
         assert_eq!(p.plugged_bytes(), 256 * MIB);

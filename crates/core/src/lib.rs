@@ -228,15 +228,17 @@ impl SqueezyManager {
                 shared_blocks * PAGES_PER_BLOCK,
             ),
         );
-        vm.guest.set_file_policy(AllocPolicy::PinnedZone(shared_zone));
+        vm.guest
+            .set_file_policy(AllocPolicy::PinnedZone(shared_zone));
         vm.guest.unplug_aware_zeroing_skip = true;
 
         // N private partitions, each over `part_blocks` consecutive blocks.
         let mut partitions = Vec::with_capacity(config.concurrency as usize);
         for i in 0..config.concurrency as u64 {
             let start_block = first_block + shared_blocks + i * part_blocks;
-            let blocks: Vec<BlockId> =
-                (start_block..start_block + part_blocks).map(BlockId).collect();
+            let blocks: Vec<BlockId> = (start_block..start_block + part_blocks)
+                .map(BlockId)
+                .collect();
             let zone = vm.guest.create_zone(
                 ZoneKind::SqueezyPrivate {
                     partition: i as u32,
@@ -258,8 +260,9 @@ impl SqueezyManager {
         // Pre-populate the shared partition at boot (§3 "This partition
         // is pre-populated at boot time").
         if shared_blocks > 0 {
-            let blocks: Vec<BlockId> =
-                (first_block..first_block + shared_blocks).map(BlockId).collect();
+            let blocks: Vec<BlockId> = (first_block..first_block + shared_blocks)
+                .map(BlockId)
+                .collect();
             vm.virtio_mem
                 .plug_blocks(&mut vm.guest, &blocks, shared_zone, cost)?;
         }
@@ -339,7 +342,10 @@ impl SqueezyManager {
         let zone = part.zone;
         let blocks = part.blocks.clone();
         part.state = PartitionState::Free;
-        let report = match vm.virtio_mem.plug_blocks(&mut vm.guest, &blocks, zone, cost) {
+        let report = match vm
+            .virtio_mem
+            .plug_blocks(&mut vm.guest, &blocks, zone, cost)
+        {
             Ok(r) => r,
             Err(e) => {
                 self.partitions[id.0 as usize].state = PartitionState::Unpopulated;
@@ -796,7 +802,10 @@ mod tests {
         sq.detach(a).unwrap();
         // Reuse the populated free partition directly.
         let b = vm.guest.spawn_process(AllocPolicy::MovableDefault);
-        assert_eq!(sq.attach(&mut vm, b).unwrap(), AttachOutcome::Attached(part));
+        assert_eq!(
+            sq.attach(&mut vm, b).unwrap(),
+            AttachOutcome::Attached(part)
+        );
         assert_eq!(sq.stats().plugs, 1, "no second plug needed");
     }
 

@@ -141,7 +141,9 @@ impl SqueezyManager {
         }
         let zone = part.zone;
         let blocks = part.blocks.clone();
-        let report = vm.virtio_mem.plug_blocks(&mut vm.guest, &blocks, zone, cost)?;
+        let report = vm
+            .virtio_mem
+            .plug_blocks(&mut vm.guest, &blocks, zone, cost)?;
         self.partition_mut(id).state = PartitionState::Assigned;
         self.stats_mut().replugs += 1;
         self.stats_mut().plugs += 1;
@@ -237,7 +239,9 @@ mod tests {
         sq.mark_soft(pid).unwrap();
         let rss_before = vm.host_rss();
 
-        let reports = sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+        let reports = sq
+            .revoke_soft(&mut vm, &mut host, usize::MAX, &cost)
+            .unwrap();
         assert_eq!(reports.len(), 1);
         let (_, report) = &reports[0];
         assert_eq!(report.outcome.migrated, 0, "instant path");
@@ -255,7 +259,8 @@ mod tests {
         let (mut vm, mut host, mut sq, cost) = setup();
         let pid = warm_instance(&mut vm, &mut host, &mut sq, 10_000, &cost);
         sq.mark_soft(pid).unwrap();
-        sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+        sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost)
+            .unwrap();
 
         // Next invocation: wake reports the revocation.
         assert_eq!(sq.mark_firm(pid).unwrap(), SoftWake::NeedsReplug);
@@ -292,7 +297,8 @@ mod tests {
         let (mut vm, mut host, mut sq, cost) = setup();
         let pid = warm_instance(&mut vm, &mut host, &mut sq, 1000, &cost);
         sq.mark_soft(pid).unwrap();
-        sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+        sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost)
+            .unwrap();
         // The runtime decides to evict the instance outright instead of
         // re-warming it.
         vm.guest.exit_process(pid).unwrap();
@@ -330,7 +336,8 @@ mod tests {
         let pid = warm_instance(&mut vm, &mut host, &mut sq, pages, &cost);
         let held_firm = vm.host_rss();
         sq.mark_soft(pid).unwrap();
-        sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+        sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost)
+            .unwrap();
         let held_soft = vm.host_rss();
         assert!(
             held_firm - held_soft >= pages * PAGE_SIZE,

@@ -98,11 +98,9 @@ impl TemporalInstance {
         } else {
             None
         };
-        let zone = flex
-            .partition(self.ephemeral)
-            .expect("just grown")
-            .zone;
-        vm.guest.set_policy(self.pid, AllocPolicy::PinnedZone(zone))?;
+        let zone = flex.partition(self.ephemeral).expect("just grown").zone;
+        vm.guest
+            .set_policy(self.pid, AllocPolicy::PinnedZone(zone))?;
         self.in_invocation = true;
         Ok(report)
     }
@@ -190,11 +188,7 @@ mod tests {
         (vm, host, flex, cost)
     }
 
-    fn instance(
-        vm: &mut Vm,
-        flex: &mut FlexManager,
-        cost: &CostModel,
-    ) -> (TemporalInstance, Pid) {
+    fn instance(vm: &mut Vm, flex: &mut FlexManager, cost: &CostModel) -> (TemporalInstance, Pid) {
         let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
         let (inst, _) =
             TemporalInstance::create(flex, vm, pid, 256 * MIB, 256 * MIB, cost).unwrap();

@@ -229,9 +229,7 @@ fn vertical_start(
         + rootfs.latency
         + deps.latency
         + anon.latency
-        + SimDuration::from_secs_f64(
-            profile.container_init_cpu_s + profile.function_init_cpu_s,
-        ))
+        + SimDuration::from_secs_f64(profile.container_init_cpu_s + profile.function_init_cpu_s))
 }
 
 /// Starts one instance on a fresh 1:1 microVM (cold caches).
@@ -263,9 +261,7 @@ fn one_to_one_start(
     lat += rootfs.latency
         + deps.latency
         + anon.latency
-        + SimDuration::from_secs_f64(
-            profile.container_init_cpu_s + profile.function_init_cpu_s,
-        );
+        + SimDuration::from_secs_f64(profile.container_init_cpu_s + profile.function_init_cpu_s);
     let rss = vm.host_rss();
     // The microVM keeps running (leaks into `host` accounting), exactly
     // what we want: the footprint after absorption includes it.

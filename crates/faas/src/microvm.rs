@@ -82,16 +82,14 @@ pub fn microvm_cold_start(
 
     // Container init: rootfs read from storage (cold page cache).
     let rootfs = vm.touch_file(&mut host, kind.rootfs_file(), profile.rootfs_pages(), cost)?;
-    b.container_init =
-        SimDuration::from_secs_f64(profile.container_init_cpu_s) + rootfs.latency;
+    b.container_init = SimDuration::from_secs_f64(profile.container_init_cpu_s) + rootfs.latency;
 
     // Function init: dependencies from storage + most of the anon set.
     let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
     let deps = vm.touch_file(&mut host, kind.deps_file(), profile.deps_pages(), cost)?;
     let anon_init = vm.touch_anon(&mut host, pid, profile.anon_pages() * 6 / 10, cost)?;
-    b.function_init = SimDuration::from_secs_f64(profile.function_init_cpu_s)
-        + deps.latency
-        + anon_init.latency;
+    b.function_init =
+        SimDuration::from_secs_f64(profile.function_init_cpu_s) + deps.latency + anon_init.latency;
 
     // First execution: the rest of the working set + the run itself at
     // the container's CPU share.
@@ -149,7 +147,9 @@ pub fn n_to_one_cold_start(
 
     // Warm-up instance: populates the shared partition's page cache.
     {
-        let (_, _) = sq.plug_partition(&mut vm, cost).expect("partition available");
+        let (_, _) = sq
+            .plug_partition(&mut vm, cost)
+            .expect("partition available");
         let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
         sq.attach(&mut vm, pid).expect("attach");
         vm.touch_file(&mut host, kind.rootfs_file(), profile.rootfs_pages(), cost)?;
@@ -165,13 +165,14 @@ pub fn n_to_one_cold_start(
     let mut b = ColdStartBreakdown::default();
 
     // Scale-up: plug a Squeezy partition (the N:1 "VMM delay").
-    let (_, plug) = sq.plug_partition(&mut vm, cost).expect("partition available");
+    let (_, plug) = sq
+        .plug_partition(&mut vm, cost)
+        .expect("partition available");
     b.vmm_delay = plug.latency();
 
     // Container init: rootfs is already in the guest page cache.
     let rootfs = vm.touch_file(&mut host, kind.rootfs_file(), profile.rootfs_pages(), cost)?;
-    b.container_init =
-        SimDuration::from_secs_f64(profile.container_init_cpu_s) + rootfs.latency;
+    b.container_init = SimDuration::from_secs_f64(profile.container_init_cpu_s) + rootfs.latency;
 
     // Function init: dependencies cached; anon faults hit freshly
     // plugged memory (nested-fault tax, §6.2.1).
@@ -182,9 +183,8 @@ pub fn n_to_one_cold_start(
     }
     let deps = vm.touch_file(&mut host, kind.deps_file(), profile.deps_pages(), cost)?;
     let anon_init = vm.touch_anon(&mut host, pid, profile.anon_pages() * 6 / 10, cost)?;
-    b.function_init = SimDuration::from_secs_f64(profile.function_init_cpu_s)
-        + deps.latency
-        + anon_init.latency;
+    b.function_init =
+        SimDuration::from_secs_f64(profile.function_init_cpu_s) + deps.latency + anon_init.latency;
 
     let anon_rest = vm.touch_anon(
         &mut host,
@@ -229,8 +229,7 @@ mod tests {
         for kind in FunctionKind::ALL {
             let (one, _) = microvm_cold_start(kind, &cost).unwrap();
             let (n, _) = n_to_one_cold_start(kind, &cost).unwrap();
-            let speedup =
-                one.total().as_nanos() as f64 / n.total().as_nanos() as f64;
+            let speedup = one.total().as_nanos() as f64 / n.total().as_nanos() as f64;
             assert!(
                 speedup > 1.2,
                 "{}: N:1 should win, got {speedup:.2}x",

@@ -169,8 +169,7 @@ impl FaasSim {
                 .deployments
                 .iter()
                 .map(|d| {
-                    align_up_to_block(d.kind.profile().memory_limit.bytes())
-                        * d.concurrency as u64
+                    align_up_to_block(d.kind.profile().memory_limit.bytes()) * d.concurrency as u64
                 })
                 .sum();
             let shared_need: u64 = spec
@@ -195,9 +194,9 @@ impl FaasSim {
                 // reclaim shortfalls leave blocks plugged, and the VM
                 // must keep growing past them (the paper's virtio-mem
                 // "uses the maximum memory available").
-                _ => align_up_to_block(
-                    total_limit + shared_bytes + 256 * (1 << 20) + 2 * max_limit,
-                ),
+                _ => {
+                    align_up_to_block(total_limit + shared_bytes + 256 * (1 << 20) + 2 * max_limit)
+                }
             };
             let vm_config = VmConfig {
                 guest: guest_mm::GuestMmConfig {
@@ -396,9 +395,7 @@ impl FaasSim {
             let woken = sq.wake_waiters(&mut self.vms[vm].vm);
             let mut ready = Vec::new();
             for (pid, part) in woken {
-                if let Some((&id, _)) =
-                    self.vms[vm].instances.iter().find(|(_, i)| i.pid == pid)
-                {
+                if let Some((&id, _)) = self.vms[vm].instances.iter().find(|(_, i)| i.pid == pid) {
                     let i = self.vms[vm].instances.get_mut(&id).expect("exists");
                     i.partition = Some(part);
                     i.plug_done = true;
@@ -410,9 +407,7 @@ impl FaasSim {
             let rebuilt = self.vms[vm]
                 .instances
                 .get(&inst)
-                .map(|i| {
-                    i.state == InstState::Starting && !i.plug_done && i.partition.is_some()
-                })
+                .map(|i| i.state == InstState::Starting && !i.plug_done && i.partition.is_some())
                 .unwrap_or(false);
             if rebuilt {
                 self.vms[vm]
@@ -781,7 +776,9 @@ impl FaasSim {
         };
         let demand = (profile.container_init_cpu_s + rootfs_latency).max(1e-6);
         let tid = self.vms[vm].pool.add_task(demand, 1.0, 1.0);
-        self.vms[vm].work.insert(tid, Work::ContainerInit { inst: id });
+        self.vms[vm]
+            .work
+            .insert(tid, Work::ContainerInit { inst: id });
         true
     }
 
@@ -812,10 +809,12 @@ impl FaasSim {
             ) {
                 extra += c.latency.as_secs_f64();
             }
-            match v
-                .vm
-                .touch_anon(&mut self.host, pid, profile.anon_pages() * 6 / 10, &self.cost)
-            {
+            match v.vm.touch_anon(
+                &mut self.host,
+                pid,
+                profile.anon_pages() * 6 / 10,
+                &self.cost,
+            ) {
                 Ok(c) => extra += c.latency.as_secs_f64(),
                 Err(_) => {
                     // OOM (partition or host): the instance dies.
@@ -860,7 +859,10 @@ impl FaasSim {
 
     fn dispatch_exec(&mut self, now: SimTime, vm: usize, inst: u64, arrival: SimTime) {
         let (dep, pid, first) = {
-            let i = self.vms[vm].instances.get_mut(&inst).expect("dispatch target");
+            let i = self.vms[vm]
+                .instances
+                .get_mut(&inst)
+                .expect("dispatch target");
             debug_assert_eq!(i.state, InstState::Warm);
             i.state = InstState::Busy;
             let first = i.first_exec_pending;
@@ -983,7 +985,9 @@ impl FaasSim {
         debug_assert_ne!(i.state, InstState::Busy, "never evict busy instances");
         {
             let v = &mut self.vms[vm];
-            v.vm.guest.exit_process(i.pid).expect("instance process alive");
+            v.vm.guest
+                .exit_process(i.pid)
+                .expect("instance process alive");
             if let Some(sq) = v.squeezy.as_mut() {
                 sq.detach(i.pid).expect("instance was attached");
             }
@@ -1063,7 +1067,10 @@ impl FaasSim {
         let used_before = self.host.used_bytes();
         let deadline = SimDuration::millis(self.config.unplug_deadline_ms);
         let v = &mut self.vms[vm];
-        let report = match v.vm.unplug(&mut self.host, bytes, Some(deadline), &self.cost) {
+        let report = match v
+            .vm
+            .unplug(&mut self.host, bytes, Some(deadline), &self.cost)
+        {
             Ok(r) => r,
             Err(_) => return,
         };
@@ -1089,7 +1096,9 @@ impl FaasSim {
         // Figure-9 interference.
         let demand = report.guest_cpu.as_secs_f64().max(1e-6);
         let tid = self.vms[vm].pool.add_task(demand, 1.0, 1.0);
-        self.vms[vm].work.insert(tid, Work::ReclaimKthread { token });
+        self.vms[vm]
+            .work
+            .insert(tid, Work::ReclaimKthread { token });
     }
 
     // --- Plumbing ---------------------------------------------------------------
@@ -1180,7 +1189,10 @@ mod tests {
             "warm {warm_latency} ≪ cold {cold_latency}"
         );
         // HTML at 0.25 share: 0.055 cpu-s → ≈ 220 ms wall.
-        assert!(warm_latency > 150.0 && warm_latency < 400.0, "{warm_latency}");
+        assert!(
+            warm_latency > 150.0 && warm_latency < 400.0,
+            "{warm_latency}"
+        );
     }
 
     #[test]
@@ -1312,10 +1324,7 @@ mod tests {
         // Same function, two bursts; pressure between them revokes the
         // idle instances, and the second burst rebuilds them (soft-cold
         // start) rather than paying full cold starts.
-        let mut cfg = simple_config(
-            BackendKind::SqueezySoft,
-            vec![1.0, 1.05, 60.0, 60.05],
-        );
+        let mut cfg = simple_config(BackendKind::SqueezySoft, vec![1.0, 1.05, 60.0, 60.05]);
         cfg.keepalive_s = 300.0;
         cfg.host_capacity = 3 * GIB;
         let sim = FaasSim::new(cfg).unwrap();

@@ -39,7 +39,9 @@ pub struct BlockCounters {
 impl BlockCounters {
     /// Total accounted pages; equals `PAGES_PER_BLOCK` while online.
     pub fn total(&self) -> u64 {
-        self.free as u64 + self.used_movable as u64 + self.used_unmovable as u64
+        self.free as u64
+            + self.used_movable as u64
+            + self.used_unmovable as u64
             + self.isolated as u64
     }
 }
@@ -117,8 +119,7 @@ impl BlockTable {
     /// Returns `true` if the block can be offlined at all (online and
     /// holding no unmovable pages).
     pub fn offlineable(&self, b: BlockId) -> bool {
-        matches!(self.state(b), BlockState::Online { .. })
-            && self.counters(b).used_unmovable == 0
+        matches!(self.state(b), BlockState::Online { .. }) && self.counters(b).used_unmovable == 0
     }
 }
 

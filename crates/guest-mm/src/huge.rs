@@ -66,16 +66,8 @@ impl GuestMm {
     /// back to 512 base-page allocations (Linux's THP fault fallback).
     /// On `Err(OutOfMemory)` the memory mapped before exhaustion remains
     /// attached to the process, as with [`GuestMm::fault_anon`].
-    pub fn fault_anon_huge(
-        &mut self,
-        pid: Pid,
-        n_huge: u64,
-    ) -> Result<HugeFaultOutcome, MmError> {
-        let policy = self
-            .procs
-            .get(&pid.0)
-            .ok_or(MmError::NoSuchProcess)?
-            .policy;
+    pub fn fault_anon_huge(&mut self, pid: Pid, n_huge: u64) -> Result<HugeFaultOutcome, MmError> {
+        let policy = self.procs.get(&pid.0).ok_or(MmError::NoSuchProcess)?.policy;
         let zonelist = self.zonelist_for(policy);
         let mut out = HugeFaultOutcome::default();
         for _ in 0..n_huge {
@@ -238,11 +230,7 @@ impl GuestMm {
 
     /// Allocates one order-`order` block from the first zone in
     /// `zonelist` that can serve it.
-    pub(crate) fn alloc_order_from_zonelist(
-        &mut self,
-        zonelist: &[u8],
-        order: u8,
-    ) -> Option<Gfn> {
+    pub(crate) fn alloc_order_from_zonelist(&mut self, zonelist: &[u8], order: u8) -> Option<Gfn> {
         for &z in zonelist {
             if let Some(g) = self.zones[z as usize].alloc_block(&mut self.memmap, order) {
                 return Some(g);

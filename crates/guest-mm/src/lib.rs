@@ -368,8 +368,14 @@ impl GuestMm {
     /// Panics if `span` is not block-aligned, exceeds the address space,
     /// or more than 254 zones exist.
     pub fn create_zone(&mut self, kind: ZoneKind, span: FrameRange) -> u8 {
-        assert!(span.start.0.is_multiple_of(PAGES_PER_BLOCK), "span not block-aligned");
-        assert!(span.count.is_multiple_of(PAGES_PER_BLOCK), "span not block-sized");
+        assert!(
+            span.start.0.is_multiple_of(PAGES_PER_BLOCK),
+            "span not block-aligned"
+        );
+        assert!(
+            span.count.is_multiple_of(PAGES_PER_BLOCK),
+            "span not block-sized"
+        );
         assert!(span.end().0 <= self.memmap.len(), "span beyond memory");
         let id = u8::try_from(self.zones.len()).expect("zone table full");
         assert!(id < u8::MAX, "zone table full");
@@ -386,8 +392,14 @@ impl GuestMm {
     /// Panics if the zone still manages pages, or if `span` is not
     /// block-aligned or exceeds the address space.
     pub fn retarget_zone(&mut self, z: u8, kind: ZoneKind, span: FrameRange) {
-        assert!(span.start.0.is_multiple_of(PAGES_PER_BLOCK), "span not block-aligned");
-        assert!(span.count.is_multiple_of(PAGES_PER_BLOCK), "span not block-sized");
+        assert!(
+            span.start.0.is_multiple_of(PAGES_PER_BLOCK),
+            "span not block-aligned"
+        );
+        assert!(
+            span.count.is_multiple_of(PAGES_PER_BLOCK),
+            "span not block-sized"
+        );
         assert!(span.end().0 <= self.memmap.len(), "span beyond memory");
         let zone = &mut self.zones[z as usize];
         assert_eq!(zone.managed_pages, 0, "retargeting a non-empty zone");
@@ -421,11 +433,7 @@ impl GuestMm {
     /// attached to the process — the OOM killer (or caller) decides what
     /// dies, mirroring §4.1.
     pub fn fault_anon(&mut self, pid: Pid, n: u64) -> Result<Vec<Gfn>, MmError> {
-        let policy = self
-            .procs
-            .get(&pid.0)
-            .ok_or(MmError::NoSuchProcess)?
-            .policy;
+        let policy = self.procs.get(&pid.0).ok_or(MmError::NoSuchProcess)?.policy;
         let zonelist = self.zonelist_for(policy);
         let mut got = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -665,8 +673,7 @@ impl GuestMm {
             return Err(MmError::BadBlockState);
         }
         let zone = &self.zones[z as usize];
-        if !zone.span.contains(b.first_frame())
-            || !zone.span.contains(Gfn(b.frames().end().0 - 1))
+        if !zone.span.contains(b.first_frame()) || !zone.span.contains(Gfn(b.frames().end().0 - 1))
         {
             return Err(MmError::BadBlockState);
         }
@@ -864,12 +871,7 @@ impl GuestMm {
     ///
     /// Blocks pinned by unmovable pages are skipped, mirroring the
     /// kernel's movability checks.
-    pub fn offline_candidates(
-        &self,
-        z: u8,
-        n: usize,
-        strategy: CandidateStrategy,
-    ) -> Vec<BlockId> {
+    pub fn offline_candidates(&self, z: u8, n: usize, strategy: CandidateStrategy) -> Vec<BlockId> {
         let mut cands: Vec<BlockId> = self
             .blocks
             .online_in_zone(z)
@@ -1176,16 +1178,25 @@ mod tests {
     fn hotplug_bad_transitions_rejected() {
         let mut mm = GuestMm::new(small_config());
         let b = BlockId(2);
-        assert_eq!(mm.offline_block(b).unwrap_err().error, MmError::BadBlockState);
+        assert_eq!(
+            mm.offline_block(b).unwrap_err().error,
+            MmError::BadBlockState
+        );
         assert_eq!(mm.hot_remove_block(b), Err(MmError::BadBlockState));
         mm.hot_add_block(b).unwrap();
         assert_eq!(mm.hot_add_block(b), Err(MmError::BadBlockState));
         mm.online_block(b, ZONE_MOVABLE).unwrap();
-        assert_eq!(mm.online_block(b, ZONE_MOVABLE), Err(MmError::BadBlockState));
+        assert_eq!(
+            mm.online_block(b, ZONE_MOVABLE),
+            Err(MmError::BadBlockState)
+        );
         // Onlining into a zone that does not span the block fails.
         let b2 = BlockId(3);
         mm.hot_add_block(b2).unwrap();
-        assert_eq!(mm.online_block(b2, ZONE_NORMAL), Err(MmError::BadBlockState));
+        assert_eq!(
+            mm.online_block(b2, ZONE_NORMAL),
+            Err(MmError::BadBlockState)
+        );
     }
 
     #[test]
@@ -1363,7 +1374,11 @@ mod tests {
         let got = mm.fault_anon(pid, 100).unwrap();
         let used0 = mm.used_bytes();
         let victims = mm.swap_out_anon(pid, 30).unwrap();
-        assert_eq!(victims, got[..30].to_vec(), "oldest (first-faulted) go first");
+        assert_eq!(
+            victims,
+            got[..30].to_vec(),
+            "oldest (first-faulted) go first"
+        );
         let p = mm.process(pid).unwrap();
         assert_eq!(p.rss_pages(), 70);
         assert_eq!(p.swapped, 30);

@@ -400,10 +400,7 @@ mod tests {
         let g = zone.alloc_block(&mut mm, 0).unwrap();
         mm.page_mut(g).state = PageState::Anon;
         let chunks = zone.free_chunks(&mm, 9);
-        assert_eq!(
-            chunks.iter().filter(|&&(_, o)| o == MAX_ORDER).count(),
-            3
-        );
+        assert_eq!(chunks.iter().filter(|&&(_, o)| o == MAX_ORDER).count(), 3);
         assert_eq!(chunks.iter().filter(|&&(_, o)| o == 9).count(), 1);
         // Below the threshold nothing of order < 9 is reported.
         assert!(chunks.iter().all(|&(_, o)| o >= 9));

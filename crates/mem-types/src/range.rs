@@ -28,7 +28,10 @@ impl FrameRange {
     ///
     /// Panics if either argument is not page-aligned.
     pub fn from_bytes(start_addr: u64, bytes: u64) -> Self {
-        assert!(start_addr.is_multiple_of(PAGE_SIZE), "start not page-aligned");
+        assert!(
+            start_addr.is_multiple_of(PAGE_SIZE),
+            "start not page-aligned"
+        );
         assert!(bytes.is_multiple_of(PAGE_SIZE), "length not page-aligned");
         FrameRange {
             start: Gfn::from_addr(start_addr),

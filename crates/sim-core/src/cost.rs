@@ -330,6 +330,9 @@ mod tests {
         let small = c.madvise(1 << 20);
         let big = c.madvise(128 << 20);
         assert!(big > small);
-        assert_eq!(big.as_nanos(), c.madvise_fixed_ns + 128 * c.madvise_per_mib_ns);
+        assert_eq!(
+            big.as_nanos(),
+            c.madvise_fixed_ns + 128 * c.madvise_per_mib_ns
+        );
     }
 }

@@ -213,10 +213,7 @@ impl CpuPool {
         // Water-filling terminates in at most `n` rounds because each
         // round fixes at least one task.
         loop {
-            let wsum: f64 = unfixed
-                .iter()
-                .map(|id| self.tasks[id].weight)
-                .sum();
+            let wsum: f64 = unfixed.iter().map(|id| self.tasks[id].weight).sum();
             if wsum <= 0.0 || unfixed.is_empty() {
                 break;
             }

@@ -348,10 +348,7 @@ mod tests {
     fn busy_recorder_splits_across_windows() {
         let mut b = BusyRecorder::new(SimDuration::secs(1));
         // Busy 0.5 s in window 0 and 0.25 s in window 1.
-        b.add_busy(
-            SimTime(500_000_000),
-            SimTime(1_250_000_000),
-        );
+        b.add_busy(SimTime(500_000_000), SimTime(1_250_000_000));
         let u = b.utilization(SimTime(2_000_000_000));
         assert_eq!(u.len(), 2);
         assert!((u[0] - 0.5).abs() < 1e-9);

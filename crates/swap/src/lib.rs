@@ -227,7 +227,9 @@ mod tests {
         vm.touch_anon(&mut host, pid, 10_000, &cost).unwrap();
         let rss0 = vm.host_rss();
 
-        let out = dev.swap_out(&mut vm, &mut host, pid, 10_000, &cost).unwrap();
+        let out = dev
+            .swap_out(&mut vm, &mut host, pid, 10_000, &cost)
+            .unwrap();
         assert_eq!(out.pages, 10_000);
         assert_eq!(out.host_bytes, 10_000 * PAGE_SIZE);
         assert_eq!(vm.host_rss(), rss0 - 10_000 * PAGE_SIZE);
@@ -251,7 +253,9 @@ mod tests {
         vm.touch_anon(&mut host, pid, 10_000, &cost).unwrap();
         let used0 = host.used_bytes();
 
-        let out = dev.swap_out(&mut vm, &mut host, pid, 10_000, &cost).unwrap();
+        let out = dev
+            .swap_out(&mut vm, &mut host, pid, 10_000, &cost)
+            .unwrap();
         let full = 10_000 * PAGE_SIZE;
         assert!(out.host_bytes < full, "pool retains a share");
         assert_eq!(out.host_bytes, full - dev.pool_bytes());

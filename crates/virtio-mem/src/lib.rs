@@ -312,12 +312,10 @@ impl VirtioMemDevice {
                     report.outcome.accumulate(&outcome);
                     report.blocks.push(b);
                     // Per-block device notification + host madvise.
-                    report.breakdown.vmexits +=
-                        SimDuration::nanos(cost.virtio_block_exit_ns);
+                    report.breakdown.vmexits += SimDuration::nanos(cost.virtio_block_exit_ns);
                     report.host_cpu += SimDuration::nanos(cost.virtio_block_exit_ns);
-                    let fixed = SimDuration::nanos(
-                        cost.offline_block_fixed_ns + cost.hot_remove_block_ns,
-                    );
+                    let fixed =
+                        SimDuration::nanos(cost.offline_block_fixed_ns + cost.hot_remove_block_ns);
                     report.breakdown.rest += fixed;
                     report.guest_cpu += fixed;
                 }
@@ -395,8 +393,7 @@ impl VirtioMemDevice {
                 report.breakdown.vmexits += SimDuration::nanos(cost.virtio_block_exit_ns);
                 report.host_cpu += SimDuration::nanos(cost.virtio_block_exit_ns);
             }
-            let fixed =
-                SimDuration::nanos(cost.offline_block_fixed_ns + cost.hot_remove_block_ns);
+            let fixed = SimDuration::nanos(cost.offline_block_fixed_ns + cost.hot_remove_block_ns);
             report.breakdown.rest += fixed;
             report.guest_cpu += fixed;
         }
@@ -533,8 +530,7 @@ mod tests {
         // of those migrations into 512 base-page moves.
         assert!(
             report.breakdown.migration
-                < cost.migrate_pages(report.outcome.migrated_huge * guest_mm::PAGES_PER_HUGE)
-                    / 2,
+                < cost.migrate_pages(report.outcome.migrated_huge * guest_mm::PAGES_PER_HUGE) / 2,
             "huge migration not amortized: {}",
             report.breakdown.migration
         );
@@ -619,8 +615,7 @@ mod tests {
             .unplug_blocks_instant(&mut guest2, &plugged.blocks, &cost)
             .unwrap();
 
-        let speedup =
-            vanilla.latency().as_nanos() as f64 / squeezy.latency().as_nanos() as f64;
+        let speedup = vanilla.latency().as_nanos() as f64 / squeezy.latency().as_nanos() as f64;
         assert!(
             speedup > 3.0,
             "expected large speedup, got {speedup:.2}x ({} vs {})",

@@ -63,7 +63,10 @@ impl Ept {
     /// Returns how many frames of `range` currently lack host backing
     /// (what a populate of the range would need to reserve).
     pub fn count_unbacked(&self, range: FrameRange) -> u64 {
-        range.iter().filter(|g| !self.backed.get(g.0 as usize)).count() as u64
+        range
+            .iter()
+            .filter(|g| !self.backed.get(g.0 as usize))
+            .count() as u64
     }
 
     /// Releases backing for every frame of `range`

@@ -6,8 +6,8 @@
 //! host bytes are committed to VMs; EPT populate operations reserve from
 //! it and unplug/madvise releases back into it.
 
-use sim_core::TimeSeries;
 use sim_core::SimTime;
+use sim_core::TimeSeries;
 
 /// Errors from host memory operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

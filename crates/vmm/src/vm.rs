@@ -177,9 +177,7 @@ impl Vm {
         let base = self.back_pages(host, &outcome.fallback_pages, cost)?;
         newly_backed += base.newly_backed;
         latency += base.latency
-            + SimDuration::nanos(
-                cost.guest_minor_fault_ns * outcome.fallback_pages.len() as u64,
-            );
+            + SimDuration::nanos(cost.guest_minor_fault_ns * outcome.fallback_pages.len() as u64);
         Ok(FaultCharge {
             pages: outcome.total_pages(),
             newly_backed,
@@ -230,11 +228,7 @@ impl Vm {
 
     /// Plugs `bytes` of memory via virtio-mem (no host backing yet:
     /// memory is backed on first touch, §3 "Physical memory allocation").
-    pub fn plug(
-        &mut self,
-        bytes: u64,
-        cost: &CostModel,
-    ) -> Result<PlugReport, VmmError> {
+    pub fn plug(&mut self, bytes: u64, cost: &CostModel) -> Result<PlugReport, VmmError> {
         Ok(self.virtio_mem.plug(&mut self.guest, bytes, cost)?)
     }
 
@@ -343,10 +337,9 @@ impl Vm {
     fn release_blocks(&mut self, host: &mut HostMemory, blocks: &[mem_types::BlockId]) {
         let mut freed = 0;
         for b in blocks {
-            freed += self.ept.release_range(FrameRange::new(
-                b.first_frame(),
-                PAGES_PER_BLOCK,
-            ));
+            freed += self
+                .ept
+                .release_range(FrameRange::new(b.first_frame(), PAGES_PER_BLOCK));
         }
         host.release(freed * PAGE_SIZE);
     }
@@ -560,12 +553,11 @@ mod tests {
         let plugged = vm.plug(256 * MIB, &cost).unwrap();
         let blocks: Vec<BlockId> = plugged.blocks.clone();
         let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
-        vm.touch_anon(&mut host, pid, PAGES_PER_BLOCK, &cost).unwrap();
+        vm.touch_anon(&mut host, pid, PAGES_PER_BLOCK, &cost)
+            .unwrap();
         vm.guest.exit_process(pid).unwrap();
         vm.guest.unplug_aware_zeroing_skip = true;
-        let report = vm
-            .unplug_blocks_instant(&mut host, &blocks, &cost)
-            .unwrap();
+        let report = vm.unplug_blocks_instant(&mut host, &blocks, &cost).unwrap();
         assert_eq!(report.outcome.migrated, 0);
         assert_eq!(vm.host_rss(), 64 * MIB, "backing fully released");
     }

@@ -35,7 +35,11 @@ impl ChurnResult {
 
     /// Peak creations in any single minute.
     pub fn peak_creations(&self) -> u32 {
-        self.per_minute.iter().map(|m| m.creations).max().unwrap_or(0)
+        self.per_minute
+            .iter()
+            .map(|m| m.creations)
+            .max()
+            .unwrap_or(0)
     }
 }
 

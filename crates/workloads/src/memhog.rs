@@ -26,7 +26,9 @@ impl Memhog {
     /// already configured on the process (callers set Squeezy policies
     /// through the manager).
     pub fn spawn(vm: &mut Vm, bytes: u64) -> Memhog {
-        let pid = vm.guest.spawn_process(guest_mm::AllocPolicy::MovableDefault);
+        let pid = vm
+            .guest
+            .spawn_process(guest_mm::AllocPolicy::MovableDefault);
         Memhog {
             pid,
             pages: bytes_to_pages_ceil(bytes),
@@ -37,7 +39,9 @@ impl Memhog {
     /// Spawns a memhog whose footprint is THP-backed (§7's 2 MiB fault
     /// granularity). `bytes` is rounded up to whole huge pages.
     pub fn spawn_huge(vm: &mut Vm, bytes: u64) -> Memhog {
-        let pid = vm.guest.spawn_process(guest_mm::AllocPolicy::MovableDefault);
+        let pid = vm
+            .guest
+            .spawn_process(guest_mm::AllocPolicy::MovableDefault);
         let pages = bytes_to_pages_ceil(bytes).next_multiple_of(guest_mm::PAGES_PER_HUGE);
         Memhog {
             pid,
@@ -70,8 +74,7 @@ impl Memhog {
         cost: &CostModel,
     ) -> Result<FaultCharge, VmmError> {
         if self.huge {
-            let chunk_huge =
-                (chunk_bytes / PAGE_SIZE).div_ceil(guest_mm::PAGES_PER_HUGE);
+            let chunk_huge = (chunk_bytes / PAGE_SIZE).div_ceil(guest_mm::PAGES_PER_HUGE);
             vm.guest.free_anon_huge(self.pid, chunk_huge)?;
             return vm.touch_anon_huge(host, self.pid, chunk_huge, cost);
         }
@@ -152,10 +155,7 @@ mod tests {
         assert_eq!(hog.pages % guest_mm::PAGES_PER_HUGE, 0, "rounded to huge");
         let c = hog.warm_up(&mut vm, &mut host, &cost).unwrap();
         assert_eq!(c.huge_mapped, hog.pages / guest_mm::PAGES_PER_HUGE);
-        assert_eq!(
-            vm.guest.process(hog.pid).unwrap().rss_huge(),
-            c.huge_mapped
-        );
+        assert_eq!(vm.guest.process(hog.pid).unwrap().rss_huge(), c.huge_mapped);
         // Churn keeps the footprint and stays huge-backed.
         let c2 = hog.cycle(&mut vm, &mut host, 16 * MIB, &cost).unwrap();
         assert_eq!(c2.newly_backed, 0);

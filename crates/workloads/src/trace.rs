@@ -155,8 +155,7 @@ mod tests {
         let a = bursty_arrivals(&cfg, &mut rng);
         let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
-            / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
         let cv = var.sqrt() / mean;
         assert!(cv > 1.3, "inter-arrival CV {cv:.2} not bursty");
     }

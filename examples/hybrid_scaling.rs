@@ -23,8 +23,8 @@ fn main() {
         "strategy", "served", "mean start(ms)", "max start(ms)", "host(MiB)", "VMs"
     );
     for strategy in ScaleStrategy::ALL {
-        let o = absorb_burst(FunctionKind::Cnn, strategy, n, burst, &cost)
-            .expect("unconstrained host");
+        let o =
+            absorb_burst(FunctionKind::Cnn, strategy, n, burst, &cost).expect("unconstrained host");
         println!(
             "{:<12} {:>7} {:>15.0} {:>14.0} {:>11.0} {:>5}",
             strategy.name(),

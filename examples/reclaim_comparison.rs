@@ -41,7 +41,12 @@ fn main() {
     farm.kill(0);
     let r = farm
         .vm
-        .unplug(&mut farm.host, mem_types::align_up_to_block(bytes), None, &cost)
+        .unplug(
+            &mut farm.host,
+            mem_types::align_up_to_block(bytes),
+            None,
+            &cost,
+        )
         .expect("unplug");
     println!(
         "virtio-mem: {:>10}   ({} pages migrated, {} zeroed)",

@@ -48,10 +48,7 @@ fn main() {
             .expect("heap fits");
         pids.push(pid);
     }
-    println!(
-        "3 warm instances: host holds {} MiB",
-        vm.host_rss() / MIB
-    );
+    println!("3 warm instances: host holds {} MiB", vm.host_rss() / MIB);
 
     // The instances go idle; their runtimes mark the heaps soft.
     for &pid in &pids {

@@ -37,7 +37,10 @@ fn main() {
             .expect("layout fits");
     vm.touch_anon(&mut host, pid, 200 * MIB / PAGE_SIZE, &cost)
         .expect("base fits");
-    println!("instance warm: host holds {} MiB (base only)", vm.host_rss() / MIB);
+    println!(
+        "instance warm: host holds {} MiB (base only)",
+        vm.host_rss() / MIB
+    );
 
     for invocation in 1..=3 {
         // Invocation starts: the scratch partition plugs in.

@@ -16,13 +16,13 @@
 //! * [`squeezy_bench`] — the table/figure/ablation reproduction harness.
 
 pub use balloon;
-pub use swap;
 pub use faas;
 pub use guest_mm;
 pub use mem_types;
 pub use sim_core;
 pub use squeezy;
 pub use squeezy_bench;
+pub use swap;
 pub use virtio_mem;
 pub use vmm;
 pub use workloads;

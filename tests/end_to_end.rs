@@ -38,17 +38,13 @@ fn headline_order_of_magnitude_speedup() {
     vm.plug(4 * GIB, &cost).expect("plug");
     let keep = Memhog::spawn(&mut vm, GIB);
     let die = Memhog::spawn(&mut vm, GIB);
-    squeezy_bench::setup::fill_interleaved(
-        &mut vm,
-        &mut host,
-        &[keep, die],
-        &cost,
-    );
+    squeezy_bench::setup::fill_interleaved(&mut vm, &mut host, &[keep, die], &cost);
     die.kill(&mut vm).expect("alive");
-    let vanilla = vm
-        .unplug(&mut host, GIB, None, &cost)
-        .expect("unplug");
-    assert!(vanilla.outcome.migrated > 0, "interleaving forces migrations");
+    let vanilla = vm.unplug(&mut host, GIB, None, &cost).expect("unplug");
+    assert!(
+        vanilla.outcome.migrated > 0,
+        "interleaving forces migrations"
+    );
 
     // Squeezy: same workload, partitioned.
     let mut host2 = HostMemory::new(64 * GIB);
@@ -81,8 +77,7 @@ fn headline_order_of_magnitude_speedup() {
     assert_eq!(squeezy.outcome.migrated, 0);
     assert_eq!(squeezy.outcome.zeroed, 0);
 
-    let speedup =
-        vanilla.latency().as_nanos() as f64 / squeezy.latency().as_nanos() as f64;
+    let speedup = vanilla.latency().as_nanos() as f64 / squeezy.latency().as_nanos() as f64;
     assert!(
         speedup > 5.0,
         "expected order-of-magnitude-ish speedup, got {speedup:.1}x"
@@ -201,7 +196,9 @@ fn oom_containment_under_full_stack() {
     assert!(r.is_err(), "overrun of the 512 MiB partition OOMs");
     // The neighbour is untouched and the guest stays consistent.
     assert_eq!(vm.guest.process(good).unwrap().rss_pages(), 1000);
-    vm.guest.exit_process(bad).expect("oom-killed process cleaned");
+    vm.guest
+        .exit_process(bad)
+        .expect("oom-killed process cleaned");
     sq.detach(bad).expect("detach");
     vm.guest.assert_consistent();
 }

@@ -72,7 +72,9 @@ fn unplug_timeout_shortfall_then_retry() {
     vm.guest.assert_consistent();
 
     // Retry with no deadline reclaims the remainder.
-    let retry = vm.unplug(&mut host, report.shortfall_bytes, None, &cost).unwrap();
+    let retry = vm
+        .unplug(&mut host, report.shortfall_bytes, None, &cost)
+        .unwrap();
     assert_eq!(retry.shortfall_bytes, 0);
     assert_eq!(retry.bytes(), report.shortfall_bytes);
     vm.guest.assert_consistent();
@@ -145,7 +147,10 @@ fn partition_overrun_kill_reclaim_reuse() {
     // The partition plugs again for the next instance.
     let (id, _) = sq.plug_partition(&mut vm, &cost).unwrap();
     let pid2 = vm.guest.spawn_process(AllocPolicy::MovableDefault);
-    assert_eq!(sq.attach(&mut vm, pid2).unwrap(), AttachOutcome::Attached(id));
+    assert_eq!(
+        sq.attach(&mut vm, pid2).unwrap(),
+        AttachOutcome::Attached(id)
+    );
     vm.touch_anon(&mut host, pid2, 1000, &cost).unwrap();
     vm.guest.assert_consistent();
 }
@@ -228,7 +233,8 @@ fn revoke_soft_covers_fork_children() {
 
     // Parent marks the family's partition soft; pressure revokes it.
     sq.mark_soft(parent).unwrap();
-    sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+    sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost)
+        .unwrap();
     assert_eq!(vm.guest.process(parent).unwrap().rss_pages(), 0);
     assert_eq!(vm.guest.process(child).unwrap().rss_pages(), 0);
     vm.guest.assert_consistent();
@@ -259,10 +265,13 @@ fn double_operations_rejected_cleanly() {
     let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
     sq.attach(&mut vm, pid).unwrap();
     sq.mark_soft(pid).unwrap();
-    sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+    sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost)
+        .unwrap();
 
     // Double revoke: nothing soft left.
-    let again = sq.revoke_soft(&mut vm, &mut host, usize::MAX, &cost).unwrap();
+    let again = sq
+        .revoke_soft(&mut vm, &mut host, usize::MAX, &cost)
+        .unwrap();
     assert!(again.is_empty());
     // Replug twice: the second is rejected.
     sq.replug(&mut vm, pid, &cost).unwrap();
@@ -293,7 +302,10 @@ fn balloon_stops_at_guest_exhaustion() {
 
     // Ask the balloon for 4x what is left.
     let report = vm.balloon_reclaim(&mut host, 256 * MIB, &cost).unwrap();
-    assert!(report.bytes() <= 64 * MIB, "inflation capped by free memory");
+    assert!(
+        report.bytes() <= 64 * MIB,
+        "inflation capped by free memory"
+    );
     vm.guest.assert_consistent();
     assert_eq!(host.used_bytes(), vm.host_rss());
 }

@@ -48,12 +48,24 @@ enum HugeOp {
 
 fn huge_op() -> impl Strategy<Value = HugeOp> {
     prop_oneof![
-        (0u8..3, 1u16..600).prop_map(|(p, n)| HugeOp::Fault { proc_idx: p, pages: n }),
+        (0u8..3, 1u16..600).prop_map(|(p, n)| HugeOp::Fault {
+            proc_idx: p,
+            pages: n
+        }),
         (0u8..3, 1u8..4).prop_map(|(p, n)| HugeOp::FaultHuge { proc_idx: p, n }),
-        (0u8..3, 1u16..600).prop_map(|(p, n)| HugeOp::Free { proc_idx: p, pages: n }),
+        (0u8..3, 1u16..600).prop_map(|(p, n)| HugeOp::Free {
+            proc_idx: p,
+            pages: n
+        }),
         (0u8..3, 1u8..4).prop_map(|(p, n)| HugeOp::FreeHuge { proc_idx: p, n }),
-        (0u8..3, 1u16..400).prop_map(|(p, n)| HugeOp::SwapOut { proc_idx: p, pages: n }),
-        (0u8..3, 1u16..400).prop_map(|(p, n)| HugeOp::SwapIn { proc_idx: p, pages: n }),
+        (0u8..3, 1u16..400).prop_map(|(p, n)| HugeOp::SwapOut {
+            proc_idx: p,
+            pages: n
+        }),
+        (0u8..3, 1u16..400).prop_map(|(p, n)| HugeOp::SwapIn {
+            proc_idx: p,
+            pages: n
+        }),
         (0u8..3).prop_map(|p| HugeOp::Exit { proc_idx: p }),
         (0u8..2).prop_map(|b| HugeOp::Offline { block: b }),
         (0u8..2).prop_map(|b| HugeOp::Online { block: b }),

@@ -27,8 +27,14 @@ enum MmOp {
 
 fn op_strategy() -> impl Strategy<Value = MmOp> {
     prop_oneof![
-        (0u8..4, 1u16..512).prop_map(|(p, n)| MmOp::Fault { proc_idx: p, pages: n }),
-        (0u8..4, 1u16..512).prop_map(|(p, n)| MmOp::Free { proc_idx: p, pages: n }),
+        (0u8..4, 1u16..512).prop_map(|(p, n)| MmOp::Fault {
+            proc_idx: p,
+            pages: n
+        }),
+        (0u8..4, 1u16..512).prop_map(|(p, n)| MmOp::Free {
+            proc_idx: p,
+            pages: n
+        }),
         (0u8..4).prop_map(|p| MmOp::Exit { proc_idx: p }),
         (0u8..3, 1u16..256).prop_map(|(f, n)| MmOp::FileFault { file: f, pages: n }),
         (0u8..2).prop_map(|b| MmOp::Online { block: b }),

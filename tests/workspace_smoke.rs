@@ -1,0 +1,107 @@
+//! Workspace wiring smoke test: every layer must be reachable through the
+//! `squeezy_repro` façade, and a minimal end-to-end Squeezy round-trip
+//! must work. If a manifest edge or a façade re-export goes missing, this
+//! fails at compile time rather than deep inside an integration suite.
+
+use squeezy_repro::{
+    balloon, faas, guest_mm, mem_types, sim_core, squeezy, squeezy_bench, swap, virtio_mem, vmm,
+    workloads,
+};
+
+/// One cheap instantiation per re-exported layer.
+#[test]
+fn facade_reexports_resolve() {
+    // mem-types: units and data structures.
+    assert_eq!(mem_types::MIB, 1 << 20);
+    let bm = mem_types::Bitmap::new(64);
+    assert_eq!(bm.count_ones(), 0);
+
+    // sim-core: cost model and deterministic RNG.
+    let cost = sim_core::CostModel::default();
+    let _ = &cost;
+    let mut rng = sim_core::DetRng::new(1);
+    assert!(rng.unit() < 1.0);
+
+    // guest-mm: a bootable guest memory manager.
+    let mm = guest_mm::GuestMm::new(guest_mm::GuestMmConfig {
+        boot_bytes: 256 * mem_types::MIB,
+        hotplug_bytes: 256 * mem_types::MIB,
+        kernel_bytes: 32 * mem_types::MIB,
+        init_on_alloc: true,
+    });
+    assert!(mm.free_bytes() > 0);
+
+    // Devices and host side.
+    let _order = balloon::DEFAULT_REPORT_ORDER;
+    let _backend = swap::SwapBackend::Disk;
+    let _stats = virtio_mem::VirtioMemStats::default();
+    let host = vmm::HostMemory::new(mem_types::GIB);
+    assert_eq!(host.used_bytes(), 0);
+
+    // Workloads and the FaaS runtime model.
+    assert!(!workloads::FunctionKind::ALL.is_empty());
+    let _backend = faas::BackendKind::Squeezy;
+
+    // Bench harness: Table 1 renders.
+    assert!(squeezy_bench::table1::render().contains("Bert"));
+}
+
+/// A `SqueezyManager` attach/unplug round-trip through the façade:
+/// plug a partition, run an instance in it, tear it down, and reclaim
+/// the partition — host accounting must return to the post-boot state.
+#[test]
+fn squeezy_attach_unplug_round_trip() {
+    use guest_mm::{AllocPolicy, GuestMmConfig};
+    use squeezy::{SqueezyConfig, SqueezyManager};
+    use vmm::{HostMemory, Vm, VmConfig};
+
+    let cost = sim_core::CostModel::default();
+    let mut host = HostMemory::new(16 * mem_types::GIB);
+    let mut vm = Vm::boot(
+        VmConfig {
+            guest: GuestMmConfig {
+                boot_bytes: 512 * mem_types::MIB,
+                hotplug_bytes: 2048 * mem_types::MIB,
+                kernel_bytes: 64 * mem_types::MIB,
+                init_on_alloc: true,
+            },
+            vcpus: 2.0,
+        },
+        &mut host,
+    )
+    .expect("host fits the boot footprint");
+    let baseline_rss = vm.host_rss();
+
+    let mut sq = SqueezyManager::install(
+        &mut vm,
+        SqueezyConfig {
+            partition_bytes: 256 * mem_types::MIB,
+            shared_bytes: 128 * mem_types::MIB,
+            concurrency: 2,
+        },
+        &cost,
+    )
+    .expect("squeezy installs");
+
+    // Plug one partition and run an instance inside it.
+    let (plugged_id, _report) = sq.plug_partition(&mut vm, &cost).expect("plug");
+    let pid = vm.guest.spawn_process(AllocPolicy::MovableDefault);
+    let outcome = sq.attach(&mut vm, pid).expect("attach");
+    assert_eq!(sq.partition_of(pid), Some(plugged_id), "{outcome:?}");
+    vm.touch_anon(&mut host, pid, 1000, &cost).expect("touch");
+    assert!(vm.host_rss() > baseline_rss);
+
+    // Instance exits; its partition becomes reclaimable and unplugs.
+    vm.guest.exit_process(pid).expect("exit");
+    sq.detach(pid).expect("detach");
+    let (unplugged_id, report) = sq
+        .unplug_partition(&mut vm, &mut host, &cost)
+        .expect("unplug");
+    assert_eq!(unplugged_id, plugged_id);
+    assert!(report.bytes() >= 256 * mem_types::MIB);
+
+    // Host accounting is exact: everything the instance used came back.
+    assert_eq!(host.used_bytes(), vm.host_rss());
+    assert_eq!(vm.host_rss(), baseline_rss);
+    vm.guest.assert_consistent();
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for the subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API that this workspace uses: [`rngs::SmallRng`], [`Rng`] and
+//! [`SeedableRng`].
+//!
+//! The build container has no access to a crates registry, so the external
+//! dependency is vendored as a minimal, API-compatible crate. The sampling
+//! paths the workspace exercises are **bit-exact** with `rand` 0.8.5 +
+//! `rand_xoshiro`'s `Xoshiro256PlusPlus` (which is what `SmallRng` resolves
+//! to on 64-bit targets):
+//!
+//! * `seed_from_u64` — SplitMix64 seed expansion (rand_xoshiro's
+//!   override, *not* rand_core's PCG32 default);
+//! * `next_u64` — xoshiro256++;
+//! * `gen::<f64>()` — 53-bit mantissa construction in `[0, 1)`;
+//! * `gen_range` over 64-bit integer ranges — widening-multiply with
+//!   bitmask-zone rejection (`UniformInt::sample_single_inclusive`);
+//! * `gen_range` over `f64` ranges — `[1, 2)` mantissa trick
+//!   (`UniformFloat::sample_single`);
+//! * `gen_bool` — integer-scaled Bernoulli.
+//!
+//! Bit-exactness matters because the simulation's statistical regression
+//! thresholds were calibrated against the upstream stream.
+
+/// Uniform sampling over a range type, used by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types that [`Rng::gen`] can produce from the standard distribution.
+pub trait Standard: Sized {
+    /// Draws a sample from the standard distribution for `Self`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples from the standard distribution (`f64` in `[0, 1)`,
+    /// uniform integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// Matches `rand`'s `Bernoulli`: `p >= 1` returns `true` without
+    /// consuming a draw; otherwise one `u64` is drawn and compared
+    /// against `p` scaled to 2⁶⁴.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is negative or NaN.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(p >= 0.0, "gen_bool p out of range: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * 2.0f64.powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the algorithm behind `rand`'s `SmallRng` on 64-bit
+    /// platforms: fast, small state, passes BigCrush.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        /// rand_xoshiro's `seed_from_u64` override for the xoshiro
+        /// family (which `SmallRng` resolves to in rand 0.8.5): four
+        /// successive SplitMix64 outputs become the state words. Note
+        /// this is *not* rand_core's PCG32-based default — upstream
+        /// overrides it, and matching the override is what makes
+        /// `SmallRng::seed_from_u64(0)`'s first draw the well-known
+        /// `0x53175D61490B23DF`.
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut words = [0u64; 4];
+            for w in &mut words {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *w = z ^ (z >> 31);
+            }
+            SmallRng { s: words }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl Standard for f64 {
+    /// 53-bit mantissa construction: uniform in `[0, 1)`.
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// `UniformInt::sample_single_inclusive` from rand 0.8.5 for 64-bit
+/// integers: widening multiply, rejecting low words above the bitmask
+/// zone so the result is exactly uniform.
+#[inline]
+fn uniform_u64_inclusive<R: RngCore>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo <= hi);
+    let range = hi.wrapping_sub(lo).wrapping_add(1);
+    if range == 0 {
+        // Full span.
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = v as u128 * range as u128;
+        let m_lo = m as u64;
+        if m_lo <= zone {
+            return lo.wrapping_add((m >> 64) as u64);
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                uniform_u64_inclusive(rng, self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                uniform_u64_inclusive(rng, lo as u64, hi as u64) as $t
+            }
+        }
+    )*};
+}
+
+// The 64-bit paths (`u64`, `usize`) are bit-exact with upstream. The
+// narrower integers reuse the same 64-bit construction, which upstream
+// does *not* (it samples via `u32`); none of the workspace's
+// reference-stream-sensitive code draws narrow integers.
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    /// `UniformFloat::sample_single` from rand 0.8.5: a value in `[1, 2)`
+    /// from 52 mantissa bits, then one multiply-add.
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+        value1_2 * scale + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    /// Upstream reference vectors: `SmallRng::seed_from_u64(0)`'s first
+    /// draw under rand 0.8.5 is `0x53175D61490B23DF` (SplitMix64 seed
+    /// expansion into xoshiro256++ — the value asserted in rand's own
+    /// test suite). The remaining values were cross-checked with an
+    /// independent implementation of the published construction.
+    #[test]
+    fn matches_upstream_reference_stream() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.gen::<u64>()).collect();
+        assert_eq!(
+            got,
+            [
+                0x5317_5D61_490B_23DF,
+                0x61DA_6F3D_C380_D507,
+                0x5C0F_DF91_EC9A_7BFC,
+                0x02EE_BF8C_3BBE_5E1A,
+            ]
+        );
+        let mut rng = SmallRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..4).map(|_| rng.gen::<u64>()).collect();
+        assert_eq!(
+            got,
+            [
+                0xD076_4D4F_4476_689F,
+                0x519E_4174_576F_3791,
+                0xFBE0_7CFB_0C24_ED8C,
+                0xB37D_9F60_0CD8_35B8,
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let i = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&i));
+            let j = rng.gen_range(0usize..=3);
+            assert!(j <= 3);
+            let x = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_rejection_is_unbiased_at_small_span() {
+        // span 3 forces heavy rejection; the histogram must stay flat.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0u64..3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+}
