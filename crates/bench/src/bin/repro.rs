@@ -1,140 +1,357 @@
 //! Regenerates every table and figure of the paper as text output.
 //!
-//! Usage: `repro [all|table1|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|thp] [--quick]`
+//! Usage:
+//!
+//! ```text
+//! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid]
+//!       [--quick] [--jobs N] [--trials N] [--json <path>]
+//! ```
+//!
+//! * `--jobs N` — shard each figure's experiment grid over `N` worker
+//!   threads (default: all cores). Output is byte-identical for every
+//!   value of `N`; only wall time changes.
+//! * `--trials N` — repeat stochastic experiments `N` times on derived
+//!   RNG streams and report trial means (default: 1).
+//! * `--json <path>` — additionally write a machine-readable summary
+//!   (per-section wall time + output digest) for bench-trajectory
+//!   tracking.
 
+use std::time::Instant;
+
+use sim_core::experiment::{run_experiment, Experiment, TrialCtx};
+use sim_core::ExpOpts;
 use squeezy_bench as bench;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let all = what == "all";
-
-    let t0 = std::time::Instant::now();
-    if all || what == "table1" {
-        section("Table 1");
-        println!("{}", bench::table1::render());
-    }
-    if all || what == "fig1" {
-        section("Figure 1");
-        let cfg = if quick {
-            bench::fig1::Fig1Config::quick()
-        } else {
-            bench::fig1::Fig1Config::paper()
-        };
-        println!("{}", bench::fig1::render(&bench::fig1::run(&cfg)));
-    }
-    if all || what == "fig2" {
-        section("Figure 2");
-        let cfg = if quick {
-            bench::fig2::Fig2Config::quick()
-        } else {
-            bench::fig2::Fig2Config::paper()
-        };
-        println!("{}", bench::fig2::render(&bench::fig2::run(&cfg)));
-    }
-    if all || what == "fig5" {
-        section("Figure 5");
-        let cfg = if quick {
-            bench::fig5::Fig5Config::quick()
-        } else {
-            bench::fig5::Fig5Config::paper()
-        };
-        println!("{}", bench::fig5::render(&bench::fig5::run(&cfg)));
-    }
-    if all || what == "fig6" {
-        section("Figure 6");
-        let cfg = if quick {
-            bench::fig6::Fig6Config::quick()
-        } else {
-            bench::fig6::Fig6Config::paper()
-        };
-        println!("{}", bench::fig6::render(&bench::fig6::run(&cfg)));
-    }
-    if all || what == "fig7" {
-        section("Figure 7");
-        let cfg = if quick {
-            bench::fig7::Fig7Config::quick()
-        } else {
-            bench::fig7::Fig7Config::paper()
-        };
-        println!("{}", bench::fig7::render(&bench::fig7::run(&cfg)));
-    }
-    if all || what == "fig8" {
-        section("Figure 8");
-        let cfg = if quick {
-            bench::fig8::Fig8Config::quick()
-        } else {
-            bench::fig8::Fig8Config::paper()
-        };
-        println!("{}", bench::fig8::render(&bench::fig8::run(&cfg)));
-    }
-    if all || what == "fig9" {
-        section("Figure 9");
-        let cfg = if quick {
-            bench::fig9::Fig9Config::quick()
-        } else {
-            bench::fig9::Fig9Config::paper()
-        };
-        println!("{}", bench::fig9::render(&bench::fig9::run(&cfg), &cfg));
-    }
-    if all || what == "fig10" {
-        section("Figure 10");
-        let cfg = if quick {
-            bench::fig10::Fig10Config::quick()
-        } else {
-            bench::fig10::Fig10Config::paper()
-        };
-        println!("{}", bench::fig10::render(&bench::fig10::run(&cfg)));
-    }
-    if all || what == "fig11" {
-        section("Figure 11");
-        println!("{}", bench::fig11::render(&bench::fig11::run()));
-    }
-    if all || what == "thp" {
-        section("Ablation: THP");
-        let cfg = if quick {
-            bench::thp::ThpConfig::quick()
-        } else {
-            bench::thp::ThpConfig::paper()
-        };
-        println!("{}", bench::thp::render(&bench::thp::run(&cfg)));
-    }
-    if all || what == "soft" {
-        section("Ablation: soft memory");
-        println!("{}", bench::soft::render(&bench::soft::run()));
-    }
-    if all || what == "fpr" {
-        section("Ablation: free page reporting");
-        let cfg = if quick {
-            bench::fpr::FprConfig::quick()
-        } else {
-            bench::fpr::FprConfig::paper()
-        };
-        println!("{}", bench::fpr::render(&bench::fpr::run(&cfg)));
-    }
-    if all || what == "temporal" {
-        section("Ablation: temporal segregation");
-        println!("{}", bench::temporal::render(&bench::temporal::run()));
-    }
-    if all || what == "hybrid" {
-        section("Ablation: hybrid scaling");
-        let cfg = if quick {
-            bench::hybrid::HybridConfig::quick()
-        } else {
-            bench::hybrid::HybridConfig::paper()
-        };
-        println!("{}", bench::hybrid::render(&cfg, &bench::hybrid::run(&cfg)));
-    }
-    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+struct Args {
+    what: String,
+    quick: bool,
+    opts: ExpOpts,
+    json: Option<String>,
 }
 
-fn section(name: &str) {
-    println!("{}", "=".repeat(72));
-    println!("== {name}");
-    println!("{}", "=".repeat(72));
+fn parse_args() -> Args {
+    let mut what: Option<String> = None;
+    let mut quick = false;
+    let mut opts = ExpOpts::auto();
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| die("--jobs needs a value"));
+                opts.jobs = v.parse().unwrap_or_else(|_| die("--jobs expects a number"));
+            }
+            "--trials" => {
+                let v = it.next().unwrap_or_else(|| die("--trials needs a value"));
+                let t: u32 = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--trials expects a number"));
+                opts.trials = t.max(1);
+            }
+            "--json" => {
+                json = Some(it.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            target => match &what {
+                Some(first) => die(&format!(
+                    "multiple targets ({first:?} and {target:?}); pass one"
+                )),
+                None => what = Some(target.to_string()),
+            },
+        }
+    }
+    Args {
+        what: what.unwrap_or_else(|| "all".to_string()),
+        quick,
+        opts,
+        json,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// One rendered section and its cost.
+struct Section {
+    name: &'static str,
+    wall_s: f64,
+    bytes: usize,
+    digest: u64,
+    text: String,
+}
+
+/// FNV-1a over the rendered text: a cheap stable digest that makes
+/// `--jobs` byte-identity checkable from the JSON alone.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// A renderable section of the report.
+type Renderer = Box<dyn Fn() -> String + Sync>;
+
+/// The report itself is an experiment: each section is a sweep point,
+/// so `--jobs` pipelines whole figures against each other (a section
+/// with a serial phase, like Figure 10's abundant baseline, no longer
+/// blocks the machine) while the ordered reduction prints them in
+/// canonical order.
+struct Report {
+    sections: Vec<(&'static str, Renderer)>,
+}
+
+impl Experiment for Report {
+    type Point = usize;
+    type Output = Section;
+
+    fn points(&self) -> Vec<usize> {
+        (0..self.sections.len()).collect()
+    }
+
+    fn run_trial(&self, &i: &usize, _ctx: &mut TrialCtx) -> Section {
+        let (name, render) = &self.sections[i];
+        let t = Instant::now();
+        let text = render();
+        // Progress goes to stderr in completion order; stdout stays
+        // buffered and byte-identical in canonical order.
+        eprintln!("[repro] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+        Section {
+            name,
+            wall_s: t.elapsed().as_secs_f64(),
+            digest: fnv1a(&text),
+            bytes: text.len(),
+            text,
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let all = args.what == "all";
+    let quick = args.quick;
+    let opts = args.opts;
+
+    let mut report = Report {
+        sections: Vec::new(),
+    };
+    let mut add = |name: &'static str, enabled: bool, render: Renderer| {
+        if enabled {
+            report.sections.push((name, render));
+        }
+    };
+
+    add(
+        "Table 1",
+        all || args.what == "table1",
+        Box::new(bench::table1::render),
+    );
+    add(
+        "Figure 1",
+        all || args.what == "fig1",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig1::Fig1Config::quick()
+            } else {
+                bench::fig1::Fig1Config::paper()
+            };
+            bench::fig1::render(&bench::fig1::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Figure 2",
+        all || args.what == "fig2",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig2::Fig2Config::quick()
+            } else {
+                bench::fig2::Fig2Config::paper()
+            };
+            bench::fig2::render(&bench::fig2::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Figure 5",
+        all || args.what == "fig5",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig5::Fig5Config::quick()
+            } else {
+                bench::fig5::Fig5Config::paper()
+            };
+            bench::fig5::render(&bench::fig5::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Figure 6",
+        all || args.what == "fig6",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig6::Fig6Config::quick()
+            } else {
+                bench::fig6::Fig6Config::paper()
+            };
+            bench::fig6::render(&bench::fig6::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Figure 7",
+        all || args.what == "fig7",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig7::Fig7Config::quick()
+            } else {
+                bench::fig7::Fig7Config::paper()
+            };
+            bench::fig7::render(&bench::fig7::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Figure 8",
+        all || args.what == "fig8",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig8::Fig8Config::quick()
+            } else {
+                bench::fig8::Fig8Config::paper()
+            };
+            bench::fig8::render(&bench::fig8::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Figure 9",
+        all || args.what == "fig9",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig9::Fig9Config::quick()
+            } else {
+                bench::fig9::Fig9Config::paper()
+            };
+            bench::fig9::render(&bench::fig9::run_with(&cfg, &opts), &cfg)
+        }),
+    );
+    add(
+        "Figure 10",
+        all || args.what == "fig10",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fig10::Fig10Config::quick()
+            } else {
+                bench::fig10::Fig10Config::paper()
+            };
+            bench::fig10::render(&bench::fig10::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Figure 11",
+        all || args.what == "fig11",
+        Box::new(move || bench::fig11::render(&bench::fig11::run_with(&opts))),
+    );
+    add(
+        "Ablation: THP",
+        all || args.what == "thp",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::thp::ThpConfig::quick()
+            } else {
+                bench::thp::ThpConfig::paper()
+            };
+            bench::thp::render(&bench::thp::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Ablation: soft memory",
+        all || args.what == "soft",
+        Box::new(move || bench::soft::render(&bench::soft::run_with(&opts))),
+    );
+    add(
+        "Ablation: free page reporting",
+        all || args.what == "fpr",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fpr::FprConfig::quick()
+            } else {
+                bench::fpr::FprConfig::paper()
+            };
+            bench::fpr::render(&bench::fpr::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Ablation: temporal segregation",
+        all || args.what == "temporal",
+        Box::new(move || bench::temporal::render(&bench::temporal::run_with(&opts))),
+    );
+    add(
+        "Ablation: hybrid scaling",
+        all || args.what == "hybrid",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::hybrid::HybridConfig::quick()
+            } else {
+                bench::hybrid::HybridConfig::paper()
+            };
+            bench::hybrid::render(&cfg, &bench::hybrid::run_with(&cfg, &opts))
+        }),
+    );
+
+    if report.sections.is_empty() {
+        die(&format!("unknown target {:?}", args.what));
+    }
+
+    let t0 = Instant::now();
+    // The outer section level is capped at 4 workers: only one section
+    // (Figure 10) is long enough to need overlap, and an uncapped outer
+    // level would multiply with each section's inner workers into
+    // jobs^2 busy threads on big machines.
+    let sections: Vec<Section> = run_experiment(&report, opts.effective_jobs().min(4))
+        .into_iter()
+        .map(|mut trials| trials.remove(0))
+        .collect();
+    for sec in &sections {
+        println!("{}", "=".repeat(72));
+        println!("== {}", sec.name);
+        println!("{}", "=".repeat(72));
+        println!("{}", sec.text);
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[repro] done in {total_s:.1}s (jobs={}, trials={})",
+        opts.effective_jobs(),
+        opts.trials
+    );
+
+    if let Some(path) = args.json {
+        let json = to_json(&sections, total_s, quick, &opts);
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+/// Serializes the run summary (no external crates: the schema is flat
+/// and every string is a known-safe identifier).
+fn to_json(sections: &[Section], total_s: f64, quick: bool, opts: &ExpOpts) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"suite\": \"squeezy-repro\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"jobs\": {},\n", opts.effective_jobs()));
+    s.push_str(&format!("  \"trials\": {},\n", opts.trials));
+    s.push_str(&format!("  \"total_wall_s\": {total_s:.3},\n"));
+    s.push_str("  \"sections\": [\n");
+    for (i, sec) in sections.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"bytes\": {}, \"fnv1a\": \"{:016x}\"}}{}\n",
+            sec.name,
+            sec.wall_s,
+            sec.bytes,
+            sec.digest,
+            if i + 1 < sections.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

@@ -3,7 +3,8 @@
 //! host keeps the peak allocated because nothing reclaims it.
 
 use faas::{BackendKind, Deployment, FaasSim, SimConfig, SimResult, VmSpec};
-use sim_core::{DetRng, SimDuration};
+use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::SimDuration;
 use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
 
 use crate::table::TextTable;
@@ -47,9 +48,43 @@ impl Fig1Config {
     }
 }
 
+/// The motivation experiment as a one-point sweep on the engine: the
+/// output is a single timeline, so it clamps to one trial.
+struct Fig1Exp<'a> {
+    cfg: &'a Fig1Config,
+}
+
+impl Experiment for Fig1Exp<'_> {
+    type Point = ();
+    type Output = SimResult;
+
+    fn points(&self) -> Vec<()> {
+        vec![()]
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn run_trial(&self, _point: &(), ctx: &mut TrialCtx) -> SimResult {
+        run_trial(self.cfg, ctx)
+    }
+}
+
 /// Runs the motivation experiment on the static (vanilla N:1) backend.
 pub fn run(cfg: &Fig1Config) -> SimResult {
-    let mut rng = DetRng::new(cfg.seed);
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &Fig1Config, opts: &ExpOpts) -> SimResult {
+    run_experiment(&Fig1Exp { cfg }, opts.effective_jobs())
+        .remove(0)
+        .remove(0)
+}
+
+fn run_trial(cfg: &Fig1Config, ctx: &mut TrialCtx) -> SimResult {
+    let rng = &mut ctx.rng;
     // A strong burst early, then decaying load: instances pile up and
     // then go idle.
     let trace_cfg = BurstyTraceConfig {
@@ -59,7 +94,7 @@ pub fn run(cfg: &Fig1Config) -> SimResult {
         mean_burst_s: 25.0,
         mean_idle_s: 20.0,
     };
-    let mut arrivals = bursty_arrivals(&trace_cfg, &mut rng);
+    let mut arrivals = bursty_arrivals(&trace_cfg, rng);
     // Light tail traffic afterwards.
     let tail = BurstyTraceConfig {
         duration_s: cfg.duration_s,
@@ -69,7 +104,7 @@ pub fn run(cfg: &Fig1Config) -> SimResult {
         mean_idle_s: 60.0,
     };
     arrivals.extend(
-        bursty_arrivals(&tail, &mut rng)
+        bursty_arrivals(&tail, rng)
             .into_iter()
             .filter(|&t| t > cfg.duration_s * 0.45),
     );
@@ -77,6 +112,8 @@ pub fn run(cfg: &Fig1Config) -> SimResult {
 
     let sim_cfg = SimConfig {
         keepalive_s: cfg.keepalive_s,
+        seed: cfg.seed,
+        trial: ctx.trial,
         ..SimConfig::single_vm(
             BackendKind::Static,
             Deployment {

@@ -3,10 +3,14 @@
 //! rest, for Balloon, vanilla virtio-mem and Squeezy.
 
 use mem_types::MIB;
-use sim_core::{CostModel, LatencyBreakdown};
+use sim_core::experiment::{run_reduced, ExpOpts, Experiment, TrialCtx};
+use sim_core::{CostModel, DetRng, LatencyBreakdown};
 
 use crate::setup::{FarmKind, MemhogFarm};
 use crate::table::TextTable;
+
+/// The reclamation methods under comparison.
+const METHODS: [&str; 3] = ["Balloon", "Virtio-mem", "Squeezy"];
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -50,33 +54,97 @@ pub struct Fig5Row {
     pub breakdown: LatencyBreakdown,
 }
 
-/// Runs the experiment: for each size and method, fill a VM with
-/// memhogs, kill them iteratively, reclaim the killed instance's size at
-/// every step, and average the latency across steps.
-pub fn run(cfg: &Fig5Config) -> Vec<Fig5Row> {
-    let cost = CostModel::default();
-    let mut rows = Vec::new();
-    for &size_mib in &cfg.sizes_mib {
-        let bytes = size_mib * MIB;
-        for method in ["Balloon", "Virtio-mem", "Squeezy"] {
-            let breakdown = run_method(method, bytes, cfg, &cost);
-            rows.push(Fig5Row {
-                size_mib,
-                method,
-                breakdown,
-            });
-        }
-    }
-    rows
+/// The `sizes × methods` sweep on the engine; trials re-churn the farm
+/// from independent streams and the breakdowns are averaged. The farm
+/// stream is derived from `(size, trial)` only — NOT the method — so
+/// the three methods of one size are always measured on an identically
+/// churned farm (the paired comparison the figure reports).
+struct Fig5Exp<'a> {
+    cfg: &'a Fig5Config,
+    trials: u32,
 }
 
-fn run_method(method: &str, bytes: u64, cfg: &Fig5Config, cost: &CostModel) -> LatencyBreakdown {
+impl Experiment for Fig5Exp<'_> {
+    type Point = (u64, &'static str);
+    type Output = LatencyBreakdown;
+
+    fn points(&self) -> Vec<(u64, &'static str)> {
+        self.cfg
+            .sizes_mib
+            .iter()
+            .flat_map(|&size| METHODS.iter().map(move |&m| (size, m)))
+            .collect()
+    }
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn seed(&self) -> u64 {
+        crate::setup::CHURN_SEED
+    }
+
+    fn run_trial(&self, &(size_mib, method): &Self::Point, ctx: &mut TrialCtx) -> LatencyBreakdown {
+        // Points are laid out sizes-major, so the size index is the
+        // point index with the method dimension divided out.
+        let size_idx = (ctx.point / METHODS.len()) as u64;
+        let mut rng = DetRng::new(self.seed()).derive(size_idx).derive(ctx.trial);
+        run_method(
+            method,
+            size_mib * MIB,
+            self.cfg,
+            &CostModel::default(),
+            &mut rng,
+        )
+    }
+}
+
+/// Runs the experiment: for each size and method, fill a VM with
+/// memhogs, kill them iteratively, reclaim the killed instance's size at
+/// every step, and average the latency across steps (and trials).
+pub fn run(cfg: &Fig5Config) -> Vec<Fig5Row> {
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &Fig5Config, opts: &ExpOpts) -> Vec<Fig5Row> {
+    let exp = Fig5Exp {
+        cfg,
+        trials: opts.trials,
+    };
+    let points = exp.points();
+    let means = run_reduced(&exp, opts.effective_jobs(), |trials| {
+        let mut acc = LatencyBreakdown::default();
+        for b in &trials {
+            acc.accumulate(b);
+        }
+        acc.scale_down(trials.len() as u64)
+    });
+    points
+        .into_iter()
+        .zip(means)
+        .map(|((size_mib, method), breakdown)| Fig5Row {
+            size_mib,
+            method,
+            breakdown,
+        })
+        .collect()
+}
+
+fn run_method(
+    method: &str,
+    bytes: u64,
+    cfg: &Fig5Config,
+    cost: &CostModel,
+    rng: &mut DetRng,
+) -> LatencyBreakdown {
     let kind = if method == "Squeezy" {
         FarmKind::Squeezy
     } else {
         FarmKind::Vanilla
     };
-    let mut farm = MemhogFarm::build(kind, cfg.instances, bytes, cfg.churn_rounds, cost);
+    let mut farm =
+        MemhogFarm::build_seeded(kind, cfg.instances, bytes, cfg.churn_rounds, cost, rng);
     let mut acc = LatencyBreakdown::default();
     let steps = cfg.instances as usize;
     for k in 0..steps {

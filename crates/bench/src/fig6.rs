@@ -7,12 +7,13 @@
 
 use guest_mm::GuestMmConfig;
 use mem_types::{GIB, MIB};
-use sim_core::{CostModel, SimDuration};
+use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::{CostModel, DetRng, SimDuration};
 use squeezy::{SqueezyConfig, SqueezyManager};
 use vmm::{HostMemory, Vm, VmConfig};
 use workloads::Memhog;
 
-use crate::setup::{churn, fill_interleaved};
+use crate::setup::{churn_seeded, fill_interleaved};
 use crate::table::TextTable;
 
 /// Experiment parameters.
@@ -57,15 +58,79 @@ pub struct Fig6Point {
     pub squeezy_ms: f64,
 }
 
+/// One sweep cell: a utilization level measured under one method.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Method {
+    Virtio,
+    Squeezy,
+}
+
+/// The `utilizations × methods` sweep on the engine. Virtio trials
+/// re-shuffle the survivor subset and churn from independent streams
+/// and the latencies are averaged — the sampling noise shrinks with
+/// `1/sqrt(trials)`. The Squeezy path is fully deterministic, so its
+/// cells run once and skip (return `None` for) the repeat trials
+/// instead of re-simulating identical results.
+struct Fig6Exp<'a> {
+    cfg: &'a Fig6Config,
+    trials: u32,
+}
+
+impl Experiment for Fig6Exp<'_> {
+    type Point = (u32, Method);
+    type Output = Option<SimDuration>;
+
+    fn points(&self) -> Vec<(u32, Method)> {
+        self.cfg
+            .utilizations
+            .iter()
+            .flat_map(|&u| [(u, Method::Virtio), (u, Method::Squeezy)])
+            .collect()
+    }
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn seed(&self) -> u64 {
+        0x51EE2
+    }
+
+    fn run_trial(&self, &(u, method): &Self::Point, ctx: &mut TrialCtx) -> Option<SimDuration> {
+        let cost = CostModel::default();
+        match method {
+            Method::Virtio => Some(virtio_point(self.cfg, u, &cost, &mut ctx.rng)),
+            Method::Squeezy if ctx.trial == 0 => Some(squeezy_point(self.cfg, u, &cost)),
+            Method::Squeezy => None,
+        }
+    }
+}
+
 /// Runs the sweep.
 pub fn run(cfg: &Fig6Config) -> Vec<Fig6Point> {
-    let cost = CostModel::default();
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &Fig6Config, opts: &ExpOpts) -> Vec<Fig6Point> {
+    let exp = Fig6Exp {
+        cfg,
+        trials: opts.trials,
+    };
+    let cells = run_experiment(&exp, opts.effective_jobs());
+    // Cells arrive as (virtio, squeezy) pairs per utilization; skipped
+    // repeat trials (deterministic Squeezy cells) drop out of the mean.
+    let mean_ms = |trials: &[Option<SimDuration>]| {
+        let ran: Vec<SimDuration> = trials.iter().flatten().copied().collect();
+        mean_over(&ran, |d| d.as_millis_f64())
+    };
     cfg.utilizations
         .iter()
-        .map(|&u| Fig6Point {
+        .zip(cells.chunks(2))
+        .map(|(&u, pair)| Fig6Point {
             utilization_pct: u,
-            virtio_ms: virtio_point(cfg, u, &cost).as_millis_f64(),
-            squeezy_ms: squeezy_point(cfg, u, &cost).as_millis_f64(),
+            virtio_ms: mean_ms(&pair[0]),
+            squeezy_ms: mean_ms(&pair[1]),
         })
         .collect()
 }
@@ -76,7 +141,7 @@ pub fn run(cfg: &Fig6Config) -> Vec<Fig6Point> {
 /// "random placement ... over multiple memory blocks" the paper
 /// attributes the latency growth and fluctuation to (§6.1.1). Finally
 /// unplug the reclaim target.
-fn virtio_point(cfg: &Fig6Config, u: u32, cost: &CostModel) -> SimDuration {
+fn virtio_point(cfg: &Fig6Config, u: u32, cost: &CostModel, rng: &mut DetRng) -> SimDuration {
     let mut host = HostMemory::new(cfg.vm_bytes + 8 * GIB);
     let mut vm = Vm::boot(
         VmConfig {
@@ -104,10 +169,9 @@ fn virtio_point(cfg: &Fig6Config, u: u32, cost: &CostModel) -> SimDuration {
         hogs.push(Memhog::spawn(&mut vm, hog_bytes));
     }
     fill_interleaved(&mut vm, &mut host, &hogs, cost);
-    churn(&mut vm, &mut host, &hogs, 1, cost);
+    churn_seeded(&mut vm, &mut host, &hogs, 1, cost, rng);
 
     // Kill a random subset until utilization drops to `u` %.
-    let mut rng = sim_core::DetRng::new(0x51EE2 ^ u as u64);
     let mut order: Vec<usize> = (0..hogs.len()).collect();
     rng.shuffle(&mut order);
     let keep = (hogs.len() as u64 * u as u64 / 100) as usize;
@@ -209,8 +273,12 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy simulation; enable with --features slow-tests"
+    )]
     fn virtio_grows_with_utilization_squeezy_flat() {
-        let points = run(&Fig6Config::quick());
+        let points = run_with(&Fig6Config::quick(), &ExpOpts::auto().with_trials(2));
         assert_eq!(points.len(), 3);
         let lo = &points[0];
         let hi = &points[2];
@@ -234,6 +302,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy simulation; enable with --features slow-tests"
+    )]
     fn render_mentions_paper_target() {
         let points = run(&Fig6Config::quick());
         let s = render(&points);

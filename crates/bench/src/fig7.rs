@@ -4,7 +4,8 @@
 //! hammers the guest vCPU with migrations; Squeezy needs almost nothing.
 
 use mem_types::MIB;
-use sim_core::{BusyRecorder, CostModel, SimDuration, SimTime};
+use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::{BusyRecorder, CostModel, DetRng, SimDuration, SimTime};
 
 use crate::setup::{FarmKind, MemhogFarm};
 use crate::table::TextTable;
@@ -89,25 +90,56 @@ fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// The per-method sweep on the engine: the output is a utilization
+/// timeline, so it clamps to one trial. The farm stream is derived from
+/// the trial only — NOT the method — so all three methods are measured
+/// on an identically churned farm.
+struct Fig7Exp<'a> {
+    cfg: &'a Fig7Config,
+}
+
+impl Experiment for Fig7Exp<'_> {
+    type Point = &'static str;
+    type Output = Fig7Series;
+
+    fn points(&self) -> Vec<&'static str> {
+        vec!["Balloon", "Virtio-mem", "Squeezy"]
+    }
+
+    fn seed(&self) -> u64 {
+        crate::setup::CHURN_SEED
+    }
+
+    fn run_trial(&self, method: &&'static str, ctx: &mut TrialCtx) -> Fig7Series {
+        let mut rng = DetRng::new(self.seed()).derive(ctx.trial);
+        run_method(method, self.cfg, &mut rng)
+    }
+}
+
 /// Runs the experiment for all three methods.
 pub fn run(cfg: &Fig7Config) -> Vec<Fig7Series> {
-    ["Balloon", "Virtio-mem", "Squeezy"]
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &Fig7Config, opts: &ExpOpts) -> Vec<Fig7Series> {
+    run_experiment(&Fig7Exp { cfg }, opts.effective_jobs())
         .into_iter()
-        .map(|m| run_method(m, cfg))
+        .map(|mut trials| trials.remove(0))
         .collect()
 }
 
 /// One reclaim/re-add cycle per period; kernel threads are pinned to
 /// dedicated cores (§6.1.2), so their busy time maps directly onto the
 /// recorder.
-fn run_method(method: &'static str, cfg: &Fig7Config) -> Fig7Series {
+fn run_method(method: &'static str, cfg: &Fig7Config, rng: &mut DetRng) -> Fig7Series {
     let cost = CostModel::default();
     let kind = if method == "Squeezy" {
         FarmKind::Squeezy
     } else {
         FarmKind::Vanilla
     };
-    let mut farm = MemhogFarm::build(kind, cfg.instances, cfg.hog_bytes, 1, &cost);
+    let mut farm = MemhogFarm::build_seeded(kind, cfg.instances, cfg.hog_bytes, 1, &cost, rng);
     // Free one instance's worth so there is reclaimable memory; the rest
     // keeps running (loaded vCPUs).
     farm.kill(0);

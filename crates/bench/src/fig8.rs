@@ -3,6 +3,7 @@
 //! vanilla virtio-mem vs Squeezy, per function plus geomean.
 
 use faas::{BackendKind, Deployment, FaasSim, SimConfig};
+use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
 use sim_core::metrics::geomean;
 use sim_core::DetRng;
 use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
@@ -55,25 +56,77 @@ pub struct Fig8Row {
     pub squeezy_mibs: f64,
 }
 
+/// The `functions × backends` sweep on the engine. The trace stream is
+/// derived from `(seed, function, trial)` only — NOT the backend — so
+/// the two backends of a pair always face identical arrivals, and
+/// trials average the throughput over independent traces.
+struct Fig8Exp<'a> {
+    cfg: &'a Fig8Config,
+    trials: u32,
+}
+
+impl Experiment for Fig8Exp<'_> {
+    type Point = (FunctionKind, BackendKind);
+    type Output = f64;
+
+    fn points(&self) -> Vec<(FunctionKind, BackendKind)> {
+        FunctionKind::ALL
+            .iter()
+            .flat_map(|&k| [(k, BackendKind::VirtioMem), (k, BackendKind::Squeezy)])
+            .collect()
+    }
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn run_trial(&self, &(kind, backend): &Self::Point, ctx: &mut TrialCtx) -> f64 {
+        // Pair the backends on one trace: derive from the function
+        // index and trial, ignoring the point's backend half.
+        let kind_idx = FunctionKind::ALL.iter().position(|&k| k == kind).unwrap() as u64;
+        let mut rng = DetRng::new(self.cfg.seed)
+            .derive(kind_idx)
+            .derive(ctx.trial);
+        run_one(kind, backend, self.cfg, &mut rng, ctx.trial)
+    }
+}
+
 /// Runs each Table-1 function on its own N:1 VM under a bursty trace,
-/// once per backend, and reports eviction-driven reclaim throughput.
+/// once per backend, and reports eviction-driven reclaim throughput
+/// (averaged over trials).
 pub fn run(cfg: &Fig8Config) -> Vec<Fig8Row> {
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &Fig8Config, opts: &ExpOpts) -> Vec<Fig8Row> {
+    let exp = Fig8Exp {
+        cfg,
+        trials: opts.trials,
+    };
+    let cells = run_experiment(&exp, opts.effective_jobs());
     FunctionKind::ALL
         .iter()
-        .map(|&kind| {
-            let virtio = run_one(kind, BackendKind::VirtioMem, cfg);
-            let squeezy = run_one(kind, BackendKind::Squeezy, cfg);
-            Fig8Row {
-                kind,
-                virtio_mibs: virtio,
-                squeezy_mibs: squeezy,
-            }
+        .zip(cells.chunks(2))
+        .map(|(&kind, pair)| Fig8Row {
+            kind,
+            virtio_mibs: mean_over(&pair[0], |&t| t),
+            squeezy_mibs: mean_over(&pair[1], |&t| t),
         })
         .collect()
 }
 
-fn run_one(kind: FunctionKind, backend: BackendKind, cfg: &Fig8Config) -> f64 {
-    let mut rng = DetRng::new(cfg.seed ^ kind as u64);
+fn run_one(
+    kind: FunctionKind,
+    backend: BackendKind,
+    cfg: &Fig8Config,
+    rng: &mut DetRng,
+    trial: u64,
+) -> f64 {
     let arrivals = bursty_arrivals(
         &BurstyTraceConfig {
             duration_s: cfg.duration_s * 0.6,
@@ -82,10 +135,12 @@ fn run_one(kind: FunctionKind, backend: BackendKind, cfg: &Fig8Config) -> f64 {
             mean_burst_s: 15.0,
             mean_idle_s: 25.0,
         },
-        &mut rng,
+        rng,
     );
     let sim_cfg = SimConfig {
         keepalive_s: cfg.keepalive_s,
+        seed: cfg.seed,
+        trial,
         ..SimConfig::single_vm(
             backend,
             Deployment {

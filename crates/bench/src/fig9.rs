@@ -3,6 +3,7 @@
 //! than double CNN latency; Squeezy does not interfere.
 
 use faas::{BackendKind, Deployment, FaasSim, SimConfig, VmSpec};
+use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
 use sim_core::DetRng;
 use workloads::FunctionKind;
 
@@ -86,16 +87,52 @@ impl Fig9Series {
     }
 }
 
+/// The per-backend sweep on the engine. Both backends must see the same
+/// arrival jitter (the figure is a paired comparison), so the trace
+/// stream is derived from the seed alone, not the point; the output is
+/// a per-second timeline, so it clamps to one trial.
+struct Fig9Exp<'a> {
+    cfg: &'a Fig9Config,
+}
+
+impl Experiment for Fig9Exp<'_> {
+    type Point = BackendKind;
+    type Output = Fig9Series;
+
+    fn points(&self) -> Vec<BackendKind> {
+        vec![BackendKind::VirtioMem, BackendKind::Squeezy]
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn run_trial(&self, &backend: &BackendKind, ctx: &mut TrialCtx) -> Fig9Series {
+        // A dedicated tag separates the trace stream from the FaaS
+        // sim's jitter stream (`DetRng::new(seed).derive(trial)`) —
+        // without it the two noise sources would replay the same draws.
+        const TRACE_STREAM: u64 = 0x9A;
+        let mut rng = DetRng::new(self.cfg.seed)
+            .derive(TRACE_STREAM)
+            .derive(ctx.trial);
+        run_one(backend, self.cfg, &mut rng)
+    }
+}
+
 /// Runs the co-location experiment for both backends.
 pub fn run(cfg: &Fig9Config) -> Vec<Fig9Series> {
-    [BackendKind::VirtioMem, BackendKind::Squeezy]
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &Fig9Config, opts: &ExpOpts) -> Vec<Fig9Series> {
+    run_experiment(&Fig9Exp { cfg }, opts.effective_jobs())
         .into_iter()
-        .map(|b| run_one(b, cfg))
+        .map(|mut trials| trials.remove(0))
         .collect()
 }
 
-fn run_one(backend: BackendKind, cfg: &Fig9Config) -> Fig9Series {
-    let mut rng = DetRng::new(cfg.seed);
+fn run_one(backend: BackendKind, cfg: &Fig9Config, rng: &mut DetRng) -> Fig9Series {
     // HTML: a dense burst that spins up `html_instances` and then stops.
     let mut html = Vec::new();
     let mut t = 1.0;
@@ -138,6 +175,7 @@ fn run_one(backend: BackendKind, cfg: &Fig9Config) -> Fig9Series {
         sample_period_s: 1.0,
         unplug_deadline_ms: 30_000,
         seed: cfg.seed,
+        trial: 0,
     };
     let result = FaasSim::new(sim_cfg).expect("boot").run();
     let m = &result.per_func[&FunctionKind::Cnn];

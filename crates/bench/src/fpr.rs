@@ -13,7 +13,8 @@
 //! usable).
 
 use mem_types::MIB;
-use sim_core::{CostModel, SimDuration};
+use sim_core::experiment::{mean_over, run_reduced, ExpOpts, Experiment, TrialCtx};
+use sim_core::{CostModel, DetRng, SimDuration};
 use vmm::Vm;
 
 use crate::setup::{FarmKind, MemhogFarm};
@@ -65,15 +66,61 @@ pub struct FprRow {
     pub usable_after_mib: f64,
 }
 
+/// The per-interface sweep on the engine; trials re-churn the farms
+/// from independent streams and the numeric columns are averaged. The
+/// farm stream is derived from the trial only — NOT the interface — so
+/// all four interfaces really do reclaim from identical farms.
+struct FprExp<'a> {
+    cfg: &'a FprConfig,
+    trials: u32,
+}
+
+impl Experiment for FprExp<'_> {
+    type Point = &'static str;
+    type Output = FprRow;
+
+    fn points(&self) -> Vec<&'static str> {
+        vec!["free-page-reporting", "balloon", "virtio-mem", "squeezy"]
+    }
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn seed(&self) -> u64 {
+        crate::setup::CHURN_SEED
+    }
+
+    fn run_trial(&self, method: &&'static str, ctx: &mut TrialCtx) -> FprRow {
+        let cost = CostModel::default();
+        let mut rng = DetRng::new(self.seed()).derive(ctx.trial);
+        match *method {
+            "free-page-reporting" => fpr_row(self.cfg, &cost, &mut rng),
+            "balloon" => balloon_row(self.cfg, &cost, &mut rng),
+            "virtio-mem" => virtio_row(self.cfg, &cost, &mut rng),
+            _ => squeezy_row(self.cfg, &cost, &mut rng),
+        }
+    }
+}
+
 /// Runs the four interfaces over identical farms.
 pub fn run(cfg: &FprConfig) -> Vec<FprRow> {
-    let cost = CostModel::default();
-    vec![
-        fpr_row(cfg, &cost),
-        balloon_row(cfg, &cost),
-        virtio_row(cfg, &cost),
-        squeezy_row(cfg, &cost),
-    ]
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &FprConfig, opts: &ExpOpts) -> Vec<FprRow> {
+    let exp = FprExp {
+        cfg,
+        trials: opts.trials,
+    };
+    run_reduced(&exp, opts.effective_jobs(), |trials| FprRow {
+        method: trials[0].method,
+        reclaimed_mib: mean_over(&trials, |r| r.reclaimed_mib),
+        latency_ms: mean_over(&trials, |r| r.latency_ms),
+        guest_cpu_ms: mean_over(&trials, |r| r.guest_cpu_ms),
+        usable_after_mib: mean_over(&trials, |r| r.usable_after_mib),
+    })
 }
 
 /// Kills every other hog, returning the freed bytes.
@@ -90,13 +137,14 @@ fn usable_mib(vm: &Vm) -> f64 {
     vm.guest.free_bytes() as f64 / MIB as f64
 }
 
-fn fpr_row(cfg: &FprConfig, cost: &CostModel) -> FprRow {
-    let mut farm = MemhogFarm::build(
+fn fpr_row(cfg: &FprConfig, cost: &CostModel, rng: &mut DetRng) -> FprRow {
+    let mut farm = MemhogFarm::build_seeded(
         FarmKind::Vanilla,
         cfg.instances,
         cfg.hog_bytes,
         cfg.churn_rounds,
         cost,
+        rng,
     );
     kill_half(&mut farm);
     let used0 = farm.host.used_bytes();
@@ -121,13 +169,14 @@ fn fpr_row(cfg: &FprConfig, cost: &CostModel) -> FprRow {
     }
 }
 
-fn balloon_row(cfg: &FprConfig, cost: &CostModel) -> FprRow {
-    let mut farm = MemhogFarm::build(
+fn balloon_row(cfg: &FprConfig, cost: &CostModel, rng: &mut DetRng) -> FprRow {
+    let mut farm = MemhogFarm::build_seeded(
         FarmKind::Vanilla,
         cfg.instances,
         cfg.hog_bytes,
         cfg.churn_rounds,
         cost,
+        rng,
     );
     let freed = kill_half(&mut farm);
     let used0 = farm.host.used_bytes();
@@ -145,13 +194,14 @@ fn balloon_row(cfg: &FprConfig, cost: &CostModel) -> FprRow {
     }
 }
 
-fn virtio_row(cfg: &FprConfig, cost: &CostModel) -> FprRow {
-    let mut farm = MemhogFarm::build(
+fn virtio_row(cfg: &FprConfig, cost: &CostModel, rng: &mut DetRng) -> FprRow {
+    let mut farm = MemhogFarm::build_seeded(
         FarmKind::Vanilla,
         cfg.instances,
         cfg.hog_bytes,
         cfg.churn_rounds,
         cost,
+        rng,
     );
     let freed = kill_half(&mut farm);
     let used0 = farm.host.used_bytes();
@@ -173,13 +223,14 @@ fn virtio_row(cfg: &FprConfig, cost: &CostModel) -> FprRow {
     }
 }
 
-fn squeezy_row(cfg: &FprConfig, cost: &CostModel) -> FprRow {
-    let mut farm = MemhogFarm::build(
+fn squeezy_row(cfg: &FprConfig, cost: &CostModel, rng: &mut DetRng) -> FprRow {
+    let mut farm = MemhogFarm::build_seeded(
         FarmKind::Squeezy,
         cfg.instances,
         cfg.hog_bytes,
         cfg.churn_rounds,
         cost,
+        rng,
     );
     kill_half(&mut farm);
     let used0 = farm.host.used_bytes();

@@ -46,6 +46,26 @@ impl MemhogFarm {
         churn_rounds: u32,
         cost: &CostModel,
     ) -> MemhogFarm {
+        Self::build_seeded(
+            kind,
+            instances,
+            hog_bytes,
+            churn_rounds,
+            cost,
+            &mut DetRng::new(CHURN_SEED),
+        )
+    }
+
+    /// [`MemhogFarm::build`] with an explicit churn stream, so repeated
+    /// experiment trials scatter footprints differently.
+    pub fn build_seeded(
+        kind: FarmKind,
+        instances: u32,
+        hog_bytes: u64,
+        churn_rounds: u32,
+        cost: &CostModel,
+        rng: &mut DetRng,
+    ) -> MemhogFarm {
         let part_bytes = align_up_to_block(hog_bytes);
         let hotplug = part_bytes * instances as u64;
         let mut host = HostMemory::new(hotplug + 64 * GIB);
@@ -109,7 +129,7 @@ impl MemhogFarm {
         // (vanilla) — Squeezy's pinned policies keep them apart anyway.
         let hogs = farm.hogs.clone();
         fill_interleaved(&mut farm.vm, &mut farm.host, &hogs, cost);
-        churn(&mut farm.vm, &mut farm.host, &hogs, churn_rounds, cost);
+        churn_seeded(&mut farm.vm, &mut farm.host, &hogs, churn_rounds, cost, rng);
         farm
     }
 
@@ -149,11 +169,25 @@ pub fn fill_interleaved(vm: &mut Vm, host: &mut HostMemory, hogs: &[Memhog], cos
     }
 }
 
+/// The default churn stream seed, used when no trial stream is given.
+pub const CHURN_SEED: u64 = 0xC0FFEE;
+
 /// Runs `rounds` of concurrent free/refault churn over a quarter of each
 /// hog's footprint, scattering footprints the way long-running memhogs
 /// do.
 pub fn churn(vm: &mut Vm, host: &mut HostMemory, hogs: &[Memhog], rounds: u32, cost: &CostModel) {
-    let mut rng = DetRng::new(0xC0FFEE);
+    churn_seeded(vm, host, hogs, rounds, cost, &mut DetRng::new(CHURN_SEED));
+}
+
+/// [`churn`] with an explicit stream, so repeated trials differ.
+pub fn churn_seeded(
+    vm: &mut Vm,
+    host: &mut HostMemory,
+    hogs: &[Memhog],
+    rounds: u32,
+    cost: &CostModel,
+    rng: &mut DetRng,
+) {
     for _ in 0..rounds {
         let mut order: Vec<usize> = (0..hogs.len()).collect();
         rng.shuffle(&mut order);

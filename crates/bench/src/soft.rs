@@ -17,6 +17,7 @@
 
 use guest_mm::{AllocPolicy, GuestMmConfig};
 use mem_types::{GIB, MIB};
+use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
 use sim_core::{CostModel, SimDuration};
 use squeezy::{SoftWake, SqueezyConfig, SqueezyManager};
 use vmm::{HostMemory, Vm, VmConfig};
@@ -79,16 +80,37 @@ pub struct SoftRow {
     pub restart_ms: f64,
 }
 
+/// The `functions × policies` grid on the engine; the warm/idle/restart
+/// cycle is deterministic, so it clamps to one trial.
+struct SoftExp;
+
+impl Experiment for SoftExp {
+    type Point = (FunctionKind, IdlePolicy);
+    type Output = SoftRow;
+
+    fn points(&self) -> Vec<(FunctionKind, IdlePolicy)> {
+        FunctionKind::ALL
+            .into_iter()
+            .flat_map(|k| IdlePolicy::ALL.into_iter().map(move |p| (k, p)))
+            .collect()
+    }
+
+    fn run_trial(&self, &(kind, policy): &Self::Point, _ctx: &mut TrialCtx) -> SoftRow {
+        measure(kind, policy, &CostModel::default())
+    }
+}
+
 /// Runs the ablation over every Table-1 function × policy.
 pub fn run() -> Vec<SoftRow> {
-    let cost = CostModel::default();
-    let mut rows = Vec::new();
-    for kind in FunctionKind::ALL {
-        for policy in IdlePolicy::ALL {
-            rows.push(measure(kind, policy, &cost));
-        }
-    }
-    rows
+    run_with(&ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(opts: &ExpOpts) -> Vec<SoftRow> {
+    run_experiment(&SoftExp, opts.effective_jobs())
+        .into_iter()
+        .map(|mut trials| trials.remove(0))
+        .collect()
 }
 
 /// Measures one function × policy cycle: warm instance → idle → restart.

@@ -16,7 +16,8 @@
 
 use guest_mm::{GuestMmConfig, PAGES_PER_HUGE};
 use mem_types::{align_up_to_block, GIB, MIB, PAGE_SIZE};
-use sim_core::CostModel;
+use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::{CostModel, DetRng};
 use squeezy::{SqueezyConfig, SqueezyManager};
 use vmm::{HostMemory, Vm, VmConfig};
 use workloads::Memhog;
@@ -84,38 +85,104 @@ pub struct ThpResult {
     pub partition_success_rate: f64,
 }
 
-/// Runs all three parts of the ablation.
-pub fn run(cfg: &ThpConfig) -> ThpResult {
-    let cost = CostModel::default();
-    let (cold_4k, cold_2m) = cold_touch(cfg, &cost);
-    let reclaim = vec![
-        reclaim_row(cfg, false, &cost),
-        reclaim_row(cfg, true, &cost),
-    ];
-    let (aged, partition) = contiguity(cfg, &cost);
-    ThpResult {
-        cold_touch_4k_ms: cold_4k,
-        cold_touch_2m_ms: cold_2m,
-        reclaim,
-        aged_success_rate: aged,
-        partition_success_rate: partition,
+/// One independent part of the ablation grid.
+#[derive(Clone, Copy, Debug)]
+enum ThpPart {
+    /// First-touch latency with base or huge faults.
+    Cold { huge: bool },
+    /// Reclaim comparison over base- or huge-backed instances.
+    Reclaim { huge: bool },
+    /// Huge-fault success on an aged VM vs a fresh partition.
+    Contiguity,
+}
+
+/// The heterogeneous output of one part.
+enum ThpPartOut {
+    ColdMs { huge: bool, ms: f64 },
+    Reclaim(ReclaimRow),
+    Contiguity { aged: f64, partition: f64 },
+}
+
+/// The three-part ablation as a five-point sweep on the engine (cold
+/// touch and reclaim split per backing); the aging shuffle draws from
+/// the trial stream.
+struct ThpExp<'a> {
+    cfg: &'a ThpConfig,
+}
+
+impl Experiment for ThpExp<'_> {
+    type Point = ThpPart;
+    type Output = ThpPartOut;
+
+    fn points(&self) -> Vec<ThpPart> {
+        vec![
+            ThpPart::Cold { huge: false },
+            ThpPart::Cold { huge: true },
+            ThpPart::Reclaim { huge: false },
+            ThpPart::Reclaim { huge: true },
+            ThpPart::Contiguity,
+        ]
+    }
+
+    fn seed(&self) -> u64 {
+        0x7867
+    }
+
+    fn run_trial(&self, &part: &ThpPart, ctx: &mut TrialCtx) -> ThpPartOut {
+        let cost = CostModel::default();
+        match part {
+            ThpPart::Cold { huge } => ThpPartOut::ColdMs {
+                huge,
+                ms: cold_touch(self.cfg, huge, &cost),
+            },
+            ThpPart::Reclaim { huge } => ThpPartOut::Reclaim(reclaim_row(self.cfg, huge, &cost)),
+            ThpPart::Contiguity => {
+                let (aged, partition) = contiguity(self.cfg, &cost, &mut ctx.rng);
+                ThpPartOut::Contiguity { aged, partition }
+            }
+        }
     }
 }
 
-/// Part 1: first-touch latency of a full instance footprint.
-fn cold_touch(cfg: &ThpConfig, cost: &CostModel) -> (f64, f64) {
-    let mut ms = [0.0f64; 2];
-    for (i, huge) in [false, true].into_iter().enumerate() {
-        let (mut vm, mut host) = plugged_vm(cfg.instance_bytes, cost);
-        let hog = if huge {
-            Memhog::spawn_huge(&mut vm, cfg.instance_bytes)
-        } else {
-            Memhog::spawn(&mut vm, cfg.instance_bytes)
-        };
-        let charge = hog.warm_up(&mut vm, &mut host, cost).expect("fits");
-        ms[i] = charge.latency.as_millis_f64();
+/// Runs all three parts of the ablation.
+pub fn run(cfg: &ThpConfig) -> ThpResult {
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options.
+pub fn run_with(cfg: &ThpConfig, opts: &ExpOpts) -> ThpResult {
+    let parts = run_experiment(&ThpExp { cfg }, opts.effective_jobs());
+    let mut result = ThpResult {
+        cold_touch_4k_ms: 0.0,
+        cold_touch_2m_ms: 0.0,
+        reclaim: Vec::new(),
+        aged_success_rate: 0.0,
+        partition_success_rate: 0.0,
+    };
+    for mut trials in parts {
+        match trials.remove(0) {
+            ThpPartOut::ColdMs { huge: false, ms } => result.cold_touch_4k_ms = ms,
+            ThpPartOut::ColdMs { huge: true, ms } => result.cold_touch_2m_ms = ms,
+            ThpPartOut::Reclaim(row) => result.reclaim.push(row),
+            ThpPartOut::Contiguity { aged, partition } => {
+                result.aged_success_rate = aged;
+                result.partition_success_rate = partition;
+            }
+        }
     }
-    (ms[0], ms[1])
+    result
+}
+
+/// Part 1: first-touch latency of a full instance footprint.
+fn cold_touch(cfg: &ThpConfig, huge: bool, cost: &CostModel) -> f64 {
+    let (mut vm, mut host) = plugged_vm(cfg.instance_bytes, cost);
+    let hog = if huge {
+        Memhog::spawn_huge(&mut vm, cfg.instance_bytes)
+    } else {
+        Memhog::spawn(&mut vm, cfg.instance_bytes)
+    };
+    let charge = hog.warm_up(&mut vm, &mut host, cost).expect("fits");
+    charge.latency.as_millis_f64()
 }
 
 /// Part 2: kill one of `instances` co-resident hogs and reclaim its
@@ -184,7 +251,7 @@ fn reclaim_row(cfg: &ThpConfig, huge: bool, cost: &CostModel) -> ReclaimRow {
 }
 
 /// Part 3: huge fault success after aging vs on a fresh partition.
-fn contiguity(cfg: &ThpConfig, cost: &CostModel) -> (f64, f64) {
+fn contiguity(cfg: &ThpConfig, cost: &CostModel, rng: &mut DetRng) -> (f64, f64) {
     // Age a vanilla VM: fill the whole movable zone with base pages,
     // then punch single-page holes at random so free runs shrink below
     // 2 MiB — the allocator-induced fragmentation of §2.2.
@@ -196,7 +263,6 @@ fn contiguity(cfg: &ThpConfig, cost: &CostModel) -> (f64, f64) {
     let zone_pages = vm.guest.zone(guest_mm::ZONE_MOVABLE).free_pages;
     vm.touch_anon(&mut host, pid, zone_pages, cost)
         .expect("fits");
-    let mut rng = sim_core::DetRng::new(0x7867);
     let mut freed = 0u64;
     for _ in 0..cfg.aging_rounds.max(1) {
         let held: Vec<_> = vm.guest.process(pid).unwrap().pages.clone();

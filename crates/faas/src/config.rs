@@ -115,6 +115,11 @@ pub struct SimConfig {
     pub unplug_deadline_ms: u64,
     /// RNG seed for execution-time jitter.
     pub seed: u64,
+    /// Trial number within a repeated experiment. The simulation's
+    /// jitter stream is *derived* as `DetRng::new(seed).derive(trial)`,
+    /// never hardcoded, so trial `t` of an experiment is reproducible in
+    /// isolation and independent of every other trial.
+    pub trial: u64,
 }
 
 impl SimConfig {
@@ -133,7 +138,13 @@ impl SimConfig {
             sample_period_s: 1.0,
             unplug_deadline_ms: 5_000,
             seed: 42,
+            trial: 0,
         }
+    }
+
+    /// Returns this configuration's derived jitter stream.
+    pub fn jitter_rng(&self) -> sim_core::DetRng {
+        sim_core::DetRng::new(self.seed).derive(self.trial)
     }
 }
 
@@ -163,6 +174,24 @@ mod tests {
     fn backend_names() {
         assert_eq!(BackendKind::Squeezy.name(), "Squeezy");
         assert_eq!(BackendKind::VirtioMem.name(), "Virtio-mem");
+    }
+
+    #[test]
+    fn trial_derives_distinct_jitter_streams() {
+        let base = SimConfig::single_vm(
+            BackendKind::Squeezy,
+            Deployment {
+                kind: FunctionKind::Html,
+                concurrency: 1,
+                arrivals: vec![],
+            },
+            10.0,
+        );
+        let mut t0 = base.jitter_rng();
+        let mut t1 = SimConfig { trial: 1, ..base }.jitter_rng();
+        let a: Vec<u64> = (0..16).map(|_| t0.range(0, 1 << 30)).collect();
+        let b: Vec<u64> = (0..16).map(|_| t1.range(0, 1 << 30)).collect();
+        assert_ne!(a, b, "trials draw from independent streams");
     }
 
     #[test]

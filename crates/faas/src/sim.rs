@@ -283,7 +283,7 @@ impl FaasSim {
             harvest_buffer = want;
         }
 
-        let seed = config.seed;
+        let rng = config.jitter_rng();
         Ok(FaasSim {
             config,
             cost,
@@ -296,7 +296,7 @@ impl FaasSim {
             next_inst: 0,
             next_token: 0,
             completed: 0,
-            rng: DetRng::new(seed),
+            rng,
             harvest_buffer,
         })
     }
@@ -1151,6 +1151,7 @@ mod tests {
             sample_period_s: 1.0,
             unplug_deadline_ms: 5_000,
             seed: 1,
+            trial: 0,
         }
     }
 
@@ -1307,6 +1308,7 @@ mod tests {
             sample_period_s: 1.0,
             unplug_deadline_ms: 5_000,
             seed: 1,
+            trial: 0,
         };
         // Calibrate the host so the second burst cannot fit without
         // reclaiming the first burst's idle memory.

@@ -15,13 +15,19 @@
 //!   caps; reproduces the vCPU interference effects of Figures 7 and 9.
 //! * [`metrics`] — histograms/quantiles, time series and busy-interval
 //!   recorders used by the benchmark harness.
+//! * [`experiment`] — the multi-trial, multi-point experiment engine the
+//!   bench harness runs on: sweep grids, per-trial RNG stream derivation
+//!   and a parallel runner whose results are bit-identical to the serial
+//!   path.
 //!
-//! Everything is single-threaded and fully deterministic: the same seed
-//! regenerates the same figures bit-for-bit.
+//! Each simulation is single-threaded and fully deterministic: the same
+//! seed regenerates the same figures bit-for-bit, and the experiment
+//! runner only parallelizes *across* independent simulations.
 
 pub mod cost;
 pub mod cpu;
 pub mod events;
+pub mod experiment;
 pub mod metrics;
 pub mod rng;
 pub mod time;
@@ -29,6 +35,7 @@ pub mod time;
 pub use cost::{CostModel, LatencyBreakdown};
 pub use cpu::{CpuPool, TaskId};
 pub use events::EventQueue;
+pub use experiment::{run_experiment, run_reduced, ExpOpts, Experiment, Summary, TrialCtx};
 pub use metrics::{BusyRecorder, Histogram, TimeSeries};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -15,25 +15,40 @@ use rand::{Rng, SeedableRng};
 /// [`DetRng::derive`], so adding random draws to one component never
 /// perturbs another (a requirement for figure-to-figure reproducibility).
 pub struct DetRng {
+    seed: u64,
     rng: SmallRng,
+}
+
+/// SplitMix64 finalizer: the avalanche step that separates child seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         DetRng {
+            seed,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
 
+    /// Returns the seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Derives an independent child stream identified by `tag`.
+    ///
+    /// The child seed mixes the *parent seed* with the tag (SplitMix64
+    /// finalizer over both), so children of differently-seeded parents
+    /// never coincide, and deriving does not consume parent draws —
+    /// `derive` is a pure function of `(parent seed, tag)`.
     pub fn derive(&self, tag: u64) -> DetRng {
-        // SplitMix64 finalizer over (seed-stream draw, tag) gives
-        // well-separated child seeds.
-        let mut z = tag.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        DetRng::new(z ^ (z >> 31))
+        DetRng::new(splitmix(self.seed ^ splitmix(tag)))
     }
 
     /// Uniform draw in `[0, 1)`.
@@ -159,6 +174,35 @@ mod tests {
         let xs: Vec<u64> = (0..16).map(|_| a.range(0, 1_000_000)).collect();
         let ys: Vec<u64> = (0..16).map(|_| b.range(0, 1_000_000)).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derived_streams_depend_on_parent_seed() {
+        // Regression: children of differently-seeded parents must not
+        // coincide (the original derive mixed only the tag).
+        let mut a = DetRng::new(1).derive(5);
+        let mut b = DetRng::new(2).derive(5);
+        let xs: Vec<u64> = (0..16).map(|_| a.range(0, 1_000_000)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.range(0, 1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derive_is_pure_and_stateless() {
+        let mut root = DetRng::new(9);
+        let before: Vec<u64> = {
+            let mut c = root.derive(3);
+            (0..8).map(|_| c.range(0, 1 << 20)).collect()
+        };
+        // Consuming parent draws must not perturb the child stream.
+        for _ in 0..100 {
+            root.unit();
+        }
+        let after: Vec<u64> = {
+            let mut c = root.derive(3);
+            (0..8).map(|_| c.range(0, 1 << 20)).collect()
+        };
+        assert_eq!(before, after);
     }
 
     #[test]
