@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid]
+//! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid|cluster]
 //!       [--quick] [--jobs N] [--trials N] [--json <path>]
 //! ```
 //!
@@ -285,6 +285,18 @@ fn main() {
         "Ablation: temporal segregation",
         all || args.what == "temporal",
         Box::new(move || bench::temporal::render(&bench::temporal::run_with(&opts))),
+    );
+    add(
+        "Cluster",
+        all || args.what == "cluster",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::cluster::ClusterBenchConfig::quick()
+            } else {
+                bench::cluster::ClusterBenchConfig::paper()
+            };
+            bench::cluster::render(&bench::cluster::run_with(&cfg, &opts))
+        }),
     );
     add(
         "Ablation: hybrid scaling",

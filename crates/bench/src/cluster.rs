@@ -1,0 +1,404 @@
+//! The cluster scenario: routing policy × elasticity backend on a
+//! multi-host fleet serving a Zipf-skewed multi-tenant workload.
+//!
+//! This goes beyond the paper (which evaluates one OpenWhisk host): the
+//! memory/latency trades of §6.2 are made at the *fleet* level, where
+//! the router decides which host pays each cold start and which host's
+//! backend must find the memory. The grid crosses the three routing
+//! policies with three elasticity backends under identical tenant
+//! traces (paired comparison), reporting cluster-wide latency
+//! percentiles, cold-start share, memory footprint and routing balance.
+
+use faas::{
+    BackendKind, ClusterConfig, ClusterSim, Deployment, HarvestConfig, LeastLoaded, RoundRobin,
+    Router, SimConfig, TenantTrace, VmSpec, WarmAffinity,
+};
+use mem_types::GIB;
+use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::{DetRng, Histogram};
+use workloads::{multi_tenant_workload, MultiTenantConfig, TenantLoad};
+
+use crate::table::TextTable;
+
+/// Routing policies under test (construction recipe: `Box<dyn Router>`
+/// is stateful and built fresh per cell).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouterKind {
+    RoundRobin,
+    LeastLoaded,
+    WarmAffinity,
+}
+
+impl RouterKind {
+    /// All policies, in table order.
+    pub const ALL: [RouterKind; 3] = [
+        RouterKind::RoundRobin,
+        RouterKind::LeastLoaded,
+        RouterKind::WarmAffinity,
+    ];
+
+    /// Display name used in the table (the router's own name, so the
+    /// labels cannot drift from the policy implementations).
+    pub fn name(self) -> &'static str {
+        self.build().name()
+    }
+
+    /// Builds a fresh router instance.
+    pub fn build(self) -> Box<dyn Router> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::LeastLoaded => Box::new(LeastLoaded),
+            RouterKind::WarmAffinity => Box::new(WarmAffinity),
+        }
+    }
+}
+
+/// Experiment scale.
+#[derive(Clone, Debug)]
+pub struct ClusterBenchConfig {
+    /// Hosts in the fleet.
+    pub hosts: usize,
+    /// Tenant functions (Zipf-ranked).
+    pub tenants: usize,
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Total average request rate across tenants.
+    pub total_rps: f64,
+    /// Zipf popularity exponent.
+    pub zipf_exponent: f64,
+    /// Physical memory per host.
+    pub host_capacity: u64,
+    /// Per-tenant max concurrent instances on each host.
+    pub concurrency: u32,
+    /// Keep-alive window in seconds.
+    pub keepalive_s: f64,
+    /// Root seed of the experiment.
+    pub seed: u64,
+}
+
+impl ClusterBenchConfig {
+    /// Full scale: a 4-host fleet under sustained skewed load.
+    pub fn paper() -> Self {
+        ClusterBenchConfig {
+            hosts: 4,
+            tenants: 8,
+            duration_s: 300.0,
+            total_rps: 10.0,
+            zipf_exponent: 1.0,
+            host_capacity: 6 * GIB,
+            concurrency: 3,
+            keepalive_s: 30.0,
+            seed: 0xC1,
+        }
+    }
+
+    /// CI scale: two hosts, shorter trace.
+    pub fn quick() -> Self {
+        ClusterBenchConfig {
+            hosts: 2,
+            tenants: 4,
+            duration_s: 120.0,
+            total_rps: 4.0,
+            zipf_exponent: 1.0,
+            host_capacity: 5 * GIB,
+            concurrency: 2,
+            keepalive_s: 20.0,
+            seed: 0xC1,
+        }
+    }
+}
+
+/// One cell of the routing × backend grid (trial means).
+#[derive(Clone, Debug)]
+pub struct ClusterCell {
+    pub router: RouterKind,
+    pub backend: BackendKind,
+    /// Requests offered by the trace (mean over trials).
+    pub offered: f64,
+    /// Requests completed (mean over trials).
+    pub completed: f64,
+    /// Cluster-wide latency stats in ms (mean over trials).
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    /// Fraction of requests that triggered a cold start.
+    pub cold_ratio: f64,
+    /// Integrated cluster memory footprint (GiB·s).
+    pub gib_s: f64,
+    /// Share of all requests routed to the hottest host (1/hosts =
+    /// perfectly balanced, 1.0 = everything on one host). Well-defined
+    /// even when some hosts receive nothing.
+    pub hot_share: f64,
+}
+
+struct ClusterExp<'a> {
+    cfg: &'a ClusterBenchConfig,
+    trials: u32,
+}
+
+impl ClusterExp<'_> {
+    fn host_config(&self, tenants: &[TenantLoad], host: usize, trial: u64) -> SimConfig {
+        let cfg = self.cfg;
+        SimConfig {
+            backend: BackendKind::Squeezy, // overwritten per point
+            harvest: HarvestConfig::default(),
+            vms: vec![VmSpec {
+                deployments: tenants
+                    .iter()
+                    .map(|t| Deployment {
+                        kind: t.kind,
+                        concurrency: cfg.concurrency,
+                        arrivals: Vec::new(), // the cluster routes the traces
+                    })
+                    .collect(),
+                vcpus: None,
+            }],
+            host_capacity: cfg.host_capacity,
+            keepalive_s: cfg.keepalive_s,
+            duration_s: cfg.duration_s,
+            sample_period_s: 1.0,
+            unplug_deadline_ms: 5_000,
+            // Fleet-scale runs keep memory bounded: no per-request
+            // points, only the aggregate histograms.
+            record_latency_points: false,
+            seed: DetRng::new(cfg.seed).derive(0x40 + host as u64).seed(),
+            trial,
+        }
+    }
+}
+
+impl Experiment for ClusterExp<'_> {
+    type Point = (RouterKind, BackendKind);
+    type Output = ClusterCell;
+
+    fn points(&self) -> Vec<(RouterKind, BackendKind)> {
+        let backends = [
+            BackendKind::VirtioMem,
+            BackendKind::Squeezy,
+            BackendKind::SqueezySoft,
+        ];
+        RouterKind::ALL
+            .iter()
+            .flat_map(|&r| backends.iter().map(move |&b| (r, b)))
+            .collect()
+    }
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn run_trial(&self, &(router, backend): &Self::Point, ctx: &mut TrialCtx) -> ClusterCell {
+        // The tenant traces are derived from (seed, trial) alone — every
+        // point of a trial sees identical load (paired comparison).
+        const TRACE_STREAM: u64 = 0x77;
+        let mut trace_rng = DetRng::new(self.cfg.seed)
+            .derive(TRACE_STREAM)
+            .derive(ctx.trial);
+        let tenants = multi_tenant_workload(
+            &MultiTenantConfig {
+                tenants: self.cfg.tenants,
+                duration_s: self.cfg.duration_s,
+                total_rps: self.cfg.total_rps,
+                zipf_exponent: self.cfg.zipf_exponent,
+            },
+            &mut trace_rng,
+        );
+        let offered: usize = tenants
+            .iter()
+            .map(|t| {
+                t.arrivals
+                    .iter()
+                    .filter(|&&a| a < self.cfg.duration_s)
+                    .count()
+            })
+            .sum();
+
+        let hosts = (0..self.cfg.hosts)
+            .map(|h| {
+                let mut cfg = self.host_config(&tenants, h, ctx.trial);
+                cfg.backend = backend;
+                cfg
+            })
+            .collect();
+        let traces = tenants
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| TenantTrace {
+                vm: 0,
+                dep: ti,
+                arrivals: t.arrivals.clone(),
+            })
+            .collect();
+        let result = ClusterSim::new(
+            ClusterConfig {
+                hosts,
+                tenants: traces,
+            },
+            router.build(),
+        )
+        .expect("hosts boot")
+        .run();
+
+        let mut latency = Histogram::new();
+        for h in result.merged_latency().values() {
+            latency.merge(h);
+        }
+        let (cold, warm) = result.cold_warm_starts();
+        let per_host = result.routed_per_host();
+        let max_routed = per_host.iter().copied().max().unwrap_or(0) as f64;
+        let total_routed: u64 = per_host.iter().sum();
+        ClusterCell {
+            router,
+            backend,
+            offered: offered as f64,
+            completed: result.completed as f64,
+            p50_ms: latency.p50(),
+            p99_ms: latency.p99(),
+            mean_ms: latency.mean(),
+            cold_ratio: cold as f64 / (cold + warm).max(1) as f64,
+            gib_s: result.total_gib_seconds(),
+            hot_share: max_routed / (total_routed.max(1)) as f64,
+        }
+    }
+}
+
+/// Runs the grid with default engine options.
+pub fn run(cfg: &ClusterBenchConfig) -> Vec<ClusterCell> {
+    run_with(cfg, &ExpOpts::default())
+}
+
+/// [`run`] with explicit engine options (trial means per cell).
+pub fn run_with(cfg: &ClusterBenchConfig, opts: &ExpOpts) -> Vec<ClusterCell> {
+    let exp = ClusterExp {
+        cfg,
+        trials: opts.trials,
+    };
+    run_experiment(&exp, opts.effective_jobs())
+        .into_iter()
+        .map(|trials| {
+            let mut cell = trials[0].clone();
+            cell.offered = mean_over(&trials, |c| c.offered);
+            cell.completed = mean_over(&trials, |c| c.completed);
+            cell.p50_ms = mean_over(&trials, |c| c.p50_ms);
+            cell.p99_ms = mean_over(&trials, |c| c.p99_ms);
+            cell.mean_ms = mean_over(&trials, |c| c.mean_ms);
+            cell.cold_ratio = mean_over(&trials, |c| c.cold_ratio);
+            cell.gib_s = mean_over(&trials, |c| c.gib_s);
+            cell.hot_share = mean_over(&trials, |c| c.hot_share);
+            cell
+        })
+        .collect()
+}
+
+/// Renders the routing × backend table.
+pub fn render(cells: &[ClusterCell]) -> String {
+    let mut t = TextTable::new(&[
+        "Router", "Backend", "Served", "p50(ms)", "p99(ms)", "Mean(ms)", "Cold(%)", "GiB*s",
+        "Hot(%)",
+    ]);
+    for c in cells {
+        t.row(vec![
+            c.router.name().to_string(),
+            c.backend.name().to_string(),
+            format!("{:.0}/{:.0}", c.completed, c.offered),
+            format!("{:.0}", c.p50_ms),
+            format!("{:.0}", c.p99_ms),
+            format!("{:.0}", c.mean_ms),
+            format!("{:.1}", 100.0 * c.cold_ratio),
+            format!("{:.1}", c.gib_s),
+            format!("{:.1}", 100.0 * c.hot_share),
+        ]);
+    }
+    let mut out = String::from(
+        "Cluster: routing policy × elasticity backend under a Zipf multi-tenant load\n",
+    );
+    out.push_str(&t.render());
+    out.push_str(
+        "Hot = share of requests on the most-loaded host (lower is more \
+         balanced); warm-affinity trades balance for warm hits.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test-sized fleet: small enough for the default (debug) test
+    /// tier; the full `quick()` scale runs under `slow-tests` and in
+    /// the CI repro smoke job.
+    fn tiny() -> ClusterBenchConfig {
+        ClusterBenchConfig {
+            hosts: 2,
+            tenants: 2,
+            duration_s: 40.0,
+            total_rps: 1.5,
+            zipf_exponent: 1.0,
+            host_capacity: 5 * GIB,
+            concurrency: 2,
+            keepalive_s: 15.0,
+            seed: 0xC1,
+        }
+    }
+
+    #[test]
+    fn grid_serves_the_offered_load() {
+        let cells = run(&tiny());
+        assert_eq!(cells.len(), 9, "3 routers x 3 backends");
+        for c in &cells {
+            assert!(c.offered > 0.0);
+            assert!(
+                c.completed >= c.offered * 0.95,
+                "{}/{} served {}/{}",
+                c.router.name(),
+                c.backend.name(),
+                c.completed,
+                c.offered
+            );
+            assert!(c.p99_ms >= c.p50_ms);
+        }
+        let cold = |r: RouterKind| {
+            cells
+                .iter()
+                .filter(|c| c.router == r && c.backend == BackendKind::Squeezy)
+                .map(|c| c.cold_ratio)
+                .next()
+                .expect("cell present")
+        };
+        assert!(
+            cold(RouterKind::WarmAffinity) <= cold(RouterKind::RoundRobin) + 1e-9,
+            "affinity {} ≤ round-robin {}",
+            cold(RouterKind::WarmAffinity),
+            cold(RouterKind::RoundRobin)
+        );
+    }
+
+    #[test]
+    fn output_is_byte_identical_for_any_job_count() {
+        let cfg = tiny();
+        let serial = render(&run_with(&cfg, &ExpOpts::serial()));
+        let parallel = render(&run_with(&cfg, &ExpOpts::serial().with_jobs(4)));
+        assert_eq!(serial, parallel);
+    }
+
+    /// The CI-scale grid, in release mode only (slow-tests job).
+    #[test]
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "enable the slow-tests feature")]
+    fn quick_grid_serves_the_offered_load() {
+        let cells = run(&ClusterBenchConfig::quick());
+        for c in &cells {
+            assert!(
+                c.completed >= c.offered * 0.95,
+                "{}/{} served {}/{}",
+                c.router.name(),
+                c.backend.name(),
+                c.completed,
+                c.offered
+            );
+        }
+    }
+}

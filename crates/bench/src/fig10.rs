@@ -177,6 +177,9 @@ fn build_config(
         duration_s: cfg.duration_s,
         sample_period_s: 1.0,
         unplug_deadline_ms: cfg.unplug_deadline_ms,
+        // The figure reports aggregate percentiles only: skip the
+        // per-request points in the heaviest simulations.
+        record_latency_points: false,
         seed: cfg.seed,
         trial,
     }

@@ -3,6 +3,7 @@
 
 use faas::{microvm_cold_start, n_to_one_cold_start, ColdStartBreakdown};
 use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::metrics::mean;
 use sim_core::CostModel;
 use workloads::FunctionKind;
 
@@ -99,20 +100,25 @@ pub fn render(rows: &[Fig11Row]) -> String {
         .iter()
         .map(|r| r.one_to_one.total().as_nanos() as f64 / r.n_to_one.total().as_nanos() as f64)
         .collect();
-    let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let mean_speedup = mean(&speedups);
     let max_speedup = speedups.iter().copied().fold(0.0, f64::max);
     let fp_ratios: Vec<f64> = rows
         .iter()
         .map(|r| r.one_footprint as f64 / r.n_footprint as f64)
         .collect();
-    let mean_fp = fp_ratios.iter().sum::<f64>() / fp_ratios.len() as f64;
-    let vmm_1to1: f64 = rows
-        .iter()
-        .map(|r| r.one_to_one.vmm_fraction())
-        .sum::<f64>()
-        / rows.len() as f64;
-    let vmm_n: f64 =
-        rows.iter().map(|r| r.n_to_one.vmm_fraction()).sum::<f64>() / rows.len() as f64;
+    let mean_fp = mean(&fp_ratios);
+    let vmm_1to1 = mean(
+        &rows
+            .iter()
+            .map(|r| r.one_to_one.vmm_fraction())
+            .collect::<Vec<_>>(),
+    );
+    let vmm_n = mean(
+        &rows
+            .iter()
+            .map(|r| r.n_to_one.vmm_fraction())
+            .collect::<Vec<_>>(),
+    );
 
     let mut out = String::from("Figure 11a: cold-start latency breakdown, 1:1 vs N:1\n");
     out.push_str(&a.render());

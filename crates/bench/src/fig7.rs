@@ -5,6 +5,7 @@
 
 use mem_types::MIB;
 use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::metrics::mean;
 use sim_core::{BusyRecorder, CostModel, DetRng, SimDuration, SimTime};
 
 use crate::setup::{FarmKind, MemhogFarm};
@@ -79,14 +80,6 @@ impl Fig7Series {
     /// Peak host utilization.
     pub fn peak_host(&self) -> f64 {
         self.host_util.iter().copied().fold(0.0, f64::max)
-    }
-}
-
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
     }
 }
 

@@ -79,11 +79,7 @@ impl Fig9Series {
             .filter(|(s, _)| *s >= from && *s < to)
             .map(|&(_, l)| l)
             .collect();
-        if xs.is_empty() {
-            0.0
-        } else {
-            xs.iter().sum::<f64>() / xs.len() as f64
-        }
+        sim_core::metrics::mean(&xs)
     }
 }
 
@@ -174,6 +170,9 @@ fn run_one(backend: BackendKind, cfg: &Fig9Config, rng: &mut DetRng) -> Fig9Seri
         duration_s: cfg.duration_s,
         sample_period_s: 1.0,
         unplug_deadline_ms: 30_000,
+        // Figure 9 is a time-resolved plot: it needs the per-request
+        // latency points.
+        record_latency_points: true,
         seed: cfg.seed,
         trial: 0,
     };

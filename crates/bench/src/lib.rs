@@ -9,6 +9,7 @@
 //! cargo run --release -p squeezy-bench --bin repro -- all
 //! ```
 
+pub mod cluster;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -1,0 +1,146 @@
+//! virtio-mem plus the HarvestVM optimizations (§6.2.2): a reserved
+//! slack buffer for instant scale-ups, refilled by proactive eviction
+//! of idle instances — the memory-for-latency trade the paper compares
+//! against.
+
+use guest_mm::Pid;
+use sim_core::{CostModel, SimDuration, SimTime};
+use vmm::{HostMemory, Vm};
+
+use crate::config::{HarvestConfig, VmSpec};
+use crate::sim::host::VmRt;
+
+use super::virtio_mem::{mark_plug_done, virtio_plug, virtio_reclaim};
+use super::{default_hotplug_bytes, ElasticityBackend, PlugResolution, PlugStart, ReclaimStart};
+
+pub(crate) struct HarvestBackend {
+    cfg: HarvestConfig,
+    /// Slack buffer currently held (host bytes reserved).
+    buffer: u64,
+}
+
+impl HarvestBackend {
+    pub(crate) fn new(cfg: HarvestConfig) -> Self {
+        HarvestBackend { cfg, buffer: 0 }
+    }
+}
+
+impl ElasticityBackend for HarvestBackend {
+    fn hotplug_bytes(
+        &self,
+        _spec: &VmSpec,
+        total_limit: u64,
+        shared_bytes: u64,
+        max_limit: u64,
+    ) -> u64 {
+        default_hotplug_bytes(total_limit, shared_bytes, max_limit)
+    }
+
+    fn install_vm(
+        &mut self,
+        _vm: &mut Vm,
+        _spec: &VmSpec,
+        _shared_bytes: u64,
+        _hotplug_bytes: u64,
+        _cost: &CostModel,
+    ) {
+    }
+
+    fn after_boot(&mut self, host: &mut HostMemory) {
+        // The slack buffer is reserved up front — idle memory traded
+        // for instant scale-ups (§6.2.2).
+        let want = self.cfg.buffer_bytes.min(host.free_bytes());
+        host.reserve(want).expect("checked free");
+        self.buffer = want;
+    }
+
+    fn admit_from_reserve(&mut self, host: &mut HostMemory, estimate: u64) -> bool {
+        if self.buffer >= estimate {
+            // Draw from the slack buffer: memory is already reserved;
+            // hand it to the VM by releasing it for its faults.
+            self.buffer -= estimate;
+            host.release(estimate);
+            return true;
+        }
+        if self.buffer + host.free_bytes() >= estimate {
+            // Drain what the buffer has and cover the rest from the
+            // free pool.
+            host.release(self.buffer);
+            self.buffer = 0;
+            return true;
+        }
+        false
+    }
+
+    fn proactive_eviction_quota(&self) -> u32 {
+        // Refill the slack buffer by evicting extra idle instances —
+        // the "aggressive reclamation" that penalizes their functions
+        // later.
+        if self.buffer < self.cfg.buffer_bytes {
+            self.cfg.proactive_evictions
+        } else {
+            0
+        }
+    }
+
+    fn on_reclaim_complete(&mut self, host: &mut HostMemory) {
+        // Siphon freed memory into the slack buffer.
+        let want = self
+            .cfg
+            .buffer_bytes
+            .saturating_sub(self.buffer)
+            .min(host.free_bytes());
+        if want > 0 {
+            host.reserve(want).expect("checked free");
+            self.buffer += want;
+        }
+    }
+
+    fn begin_plug(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        _pid: Pid,
+        bytes: u64,
+        cost: &CostModel,
+    ) -> PlugStart {
+        virtio_plug(v, bytes, cost)
+    }
+
+    fn finish_plug(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        inst: u64,
+        _cost: &CostModel,
+    ) -> PlugResolution {
+        mark_plug_done(v, inst)
+    }
+
+    fn reclaim_on_evict(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        host: &mut HostMemory,
+        bytes: u64,
+        now: SimTime,
+        deadline: SimDuration,
+        cost: &CostModel,
+    ) -> ReclaimStart {
+        virtio_reclaim(v, host, bytes, deadline, 1, now, cost)
+    }
+
+    fn retry_reclaim(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        host: &mut HostMemory,
+        bytes: u64,
+        retries: u8,
+        now: SimTime,
+        deadline: SimDuration,
+        cost: &CostModel,
+    ) -> ReclaimStart {
+        virtio_reclaim(v, host, bytes, deadline, retries, now, cost)
+    }
+}

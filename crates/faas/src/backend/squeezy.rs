@@ -1,0 +1,247 @@
+//! Squeezy: partitioned guest memory with instant, migration-free
+//! partition unplug (§4-§5).
+//!
+//! [`SqueezyCore`] holds the per-VM [`SqueezyManager`]s and implements
+//! the partition-aware plug/reclaim paths; [`SqueezyBackend`] is the
+//! plain backend and `squeezy_soft` layers the §7 soft-memory hooks on
+//! the same core.
+
+use ::squeezy::{AttachOutcome, SqueezyConfig, SqueezyManager};
+use guest_mm::Pid;
+use mem_types::align_up_to_block;
+use sim_core::{CostModel, SimDuration, SimTime};
+use vmm::{HostMemory, Vm};
+
+use crate::config::VmSpec;
+use crate::sim::host::VmRt;
+use crate::sim::instance::{InstState, PendingReclaim};
+
+use super::{ElasticityBackend, PlugResolution, PlugStart, ReclaimStart};
+
+/// Shared state and behavior of the Squeezy-family backends: one
+/// [`SqueezyManager`] per VM, installed at boot.
+#[derive(Default)]
+pub(crate) struct SqueezyCore {
+    pub managers: Vec<SqueezyManager>,
+}
+
+impl SqueezyCore {
+    /// Partitioned region: the shared slab plus one partition per
+    /// admitted instance — no headroom needed, unplug never falls
+    /// short. Partitions are uniformly sized at the VM's largest
+    /// hosted limit, so a heterogeneous tenant mix needs
+    /// `max_limit × Σ concurrency` (for homogeneous limits this equals
+    /// the plain per-deployment sum).
+    pub fn hotplug_bytes(&self, spec: &VmSpec, shared_bytes: u64, max_limit: u64) -> u64 {
+        let n: u64 = spec.deployments.iter().map(|d| d.concurrency as u64).sum();
+        shared_bytes + max_limit * n
+    }
+
+    pub fn install_vm(&mut self, vm: &mut Vm, spec: &VmSpec, shared_bytes: u64, cost: &CostModel) {
+        // One partition size per VM: the largest hosted limit
+        // (co-located functions share limits in the paper's
+        // co-location experiment).
+        let part = spec
+            .deployments
+            .iter()
+            .map(|d| align_up_to_block(d.kind.profile().memory_limit.bytes()))
+            .max()
+            .expect("VM hosts at least one deployment");
+        let n: u32 = spec.deployments.iter().map(|d| d.concurrency).sum();
+        self.managers.push(
+            SqueezyManager::install(
+                vm,
+                SqueezyConfig {
+                    partition_bytes: part,
+                    shared_bytes,
+                    concurrency: n,
+                },
+                cost,
+            )
+            .expect("squeezy layout fits the sized region"),
+        );
+    }
+
+    pub fn begin_plug(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        pid: Pid,
+        cost: &CostModel,
+    ) -> PlugStart {
+        let sq = &mut self.managers[vm_idx];
+        match sq.attach(&mut v.vm, pid).expect("fresh pid attaches") {
+            AttachOutcome::Attached(part) => {
+                // Reused an already-populated partition.
+                PlugStart::Ready {
+                    partition: Some(part),
+                }
+            }
+            AttachOutcome::Queued => {
+                let (_, report) = sq
+                    .plug_partition(&mut v.vm, cost)
+                    .expect("concurrency bound leaves a partition");
+                PlugStart::Scheduled {
+                    latency: report.latency(),
+                }
+            }
+        }
+    }
+
+    /// Binds queued waiters to freshly populated partition(s). A
+    /// concurrent scale-up may have reused the partition this plug
+    /// populated; binding goes FIFO and an instance left unbound
+    /// re-plugs.
+    pub fn finish_plug(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        inst: u64,
+        cost: &CostModel,
+    ) -> PlugResolution {
+        let sq = &mut self.managers[vm_idx];
+        let woken = sq.wake_waiters(&mut v.vm);
+        let mut ready = Vec::new();
+        for (pid, part) in woken {
+            if let Some((&id, _)) = v.instances.iter().find(|(_, i)| i.pid == pid) {
+                let i = v.instances.get_mut(&id).expect("exists");
+                i.partition = Some(part);
+                i.plug_done = true;
+                ready.push(id);
+            }
+        }
+        // A rebuild re-plug (§7 soft memory) completes directly: the
+        // instance kept its partition across the revocation.
+        let rebuilt = v
+            .instances
+            .get(&inst)
+            .map(|i| i.state == InstState::Starting && !i.plug_done && i.partition.is_some())
+            .unwrap_or(false);
+        if rebuilt {
+            v.instances.get_mut(&inst).expect("checked above").plug_done = true;
+            ready.push(inst);
+        }
+        // If this event's instance is still unbound (its partition was
+        // taken), plug a replacement partition for it.
+        let unbound = v
+            .instances
+            .get(&inst)
+            .map(|i| i.state == InstState::Starting && i.partition.is_none())
+            .unwrap_or(false);
+        let replug = if unbound {
+            let (_, report) = sq
+                .plug_partition(&mut v.vm, cost)
+                .expect("a starving instance implies an unpopulated partition");
+            Some(report.latency())
+        } else {
+            None
+        };
+        PlugResolution { ready, replug }
+    }
+
+    pub fn reclaim_on_evict(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        host: &mut HostMemory,
+        now: SimTime,
+        cost: &CostModel,
+    ) -> ReclaimStart {
+        let sq = &mut self.managers[vm_idx];
+        match sq.unplug_partition(&mut v.vm, host, cost) {
+            Ok((_, report)) => {
+                // Squeezy reclaims synchronously (§6.2.2): the freed
+                // memory is available immediately — "the drops
+                // preceding spikes". The ReclaimDone event only closes
+                // the latency accounting.
+                ReclaimStart::Timed {
+                    pending: PendingReclaim {
+                        host_bytes: 0,
+                        guest_bytes: report.bytes(),
+                        started: now,
+                        shortfall: false,
+                        pages_migrated: 0,
+                        shortfall_bytes: 0,
+                        retries_left: 0,
+                    },
+                    latency: report.latency(),
+                }
+            }
+            Err(_) => {
+                // Partition reused concurrently: nothing to reclaim.
+                ReclaimStart::None
+            }
+        }
+    }
+
+    pub fn on_exit(&mut self, vm_idx: usize, pid: Pid) {
+        let _ = self.managers[vm_idx].detach(pid);
+    }
+}
+
+/// The plain Squeezy backend (no soft memory).
+#[derive(Default)]
+pub(crate) struct SqueezyBackend {
+    core: SqueezyCore,
+}
+
+impl ElasticityBackend for SqueezyBackend {
+    fn hotplug_bytes(
+        &self,
+        spec: &VmSpec,
+        _total_limit: u64,
+        shared_bytes: u64,
+        max_limit: u64,
+    ) -> u64 {
+        self.core.hotplug_bytes(spec, shared_bytes, max_limit)
+    }
+
+    fn install_vm(
+        &mut self,
+        vm: &mut Vm,
+        spec: &VmSpec,
+        shared_bytes: u64,
+        _hotplug_bytes: u64,
+        cost: &CostModel,
+    ) {
+        self.core.install_vm(vm, spec, shared_bytes, cost);
+    }
+
+    fn begin_plug(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        pid: Pid,
+        _bytes: u64,
+        cost: &CostModel,
+    ) -> PlugStart {
+        self.core.begin_plug(vm_idx, v, pid, cost)
+    }
+
+    fn finish_plug(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        inst: u64,
+        cost: &CostModel,
+    ) -> PlugResolution {
+        self.core.finish_plug(vm_idx, v, inst, cost)
+    }
+
+    fn on_exit(&mut self, vm_idx: usize, pid: Pid) {
+        self.core.on_exit(vm_idx, pid);
+    }
+
+    fn reclaim_on_evict(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        host: &mut HostMemory,
+        _bytes: u64,
+        now: SimTime,
+        _deadline: SimDuration,
+        cost: &CostModel,
+    ) -> ReclaimStart {
+        self.core.reclaim_on_evict(vm_idx, v, host, now, cost)
+    }
+}

@@ -1,0 +1,151 @@
+//! Squeezy plus §7 soft memory: idle instances' partitions are
+//! revocable under host pressure without evicting the instances;
+//! revoked ("hollow") instances re-plug and rebuild on their next
+//! request — the soft-cold start that stays cheaper than a full cold
+//! start.
+
+use ::squeezy::SoftWake;
+use guest_mm::Pid;
+use sim_core::{CostModel, SimDuration, SimTime};
+use vmm::{HostMemory, Vm};
+
+use crate::config::VmSpec;
+use crate::sim::host::VmRt;
+use crate::sim::instance::InstState;
+
+use super::squeezy::SqueezyCore;
+use super::{ElasticityBackend, PlugResolution, PlugStart, RebuildStart, ReclaimStart};
+
+#[derive(Default)]
+pub(crate) struct SqueezySoftBackend {
+    core: SqueezyCore,
+}
+
+impl ElasticityBackend for SqueezySoftBackend {
+    fn hotplug_bytes(
+        &self,
+        spec: &VmSpec,
+        _total_limit: u64,
+        shared_bytes: u64,
+        max_limit: u64,
+    ) -> u64 {
+        self.core.hotplug_bytes(spec, shared_bytes, max_limit)
+    }
+
+    fn install_vm(
+        &mut self,
+        vm: &mut Vm,
+        spec: &VmSpec,
+        shared_bytes: u64,
+        _hotplug_bytes: u64,
+        cost: &CostModel,
+    ) {
+        self.core.install_vm(vm, spec, shared_bytes, cost);
+    }
+
+    fn begin_plug(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        pid: Pid,
+        _bytes: u64,
+        cost: &CostModel,
+    ) -> PlugStart {
+        self.core.begin_plug(vm_idx, v, pid, cost)
+    }
+
+    fn finish_plug(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        inst: u64,
+        cost: &CostModel,
+    ) -> PlugResolution {
+        self.core.finish_plug(vm_idx, v, inst, cost)
+    }
+
+    fn on_dispatch(&mut self, vm_idx: usize, pid: Pid) {
+        // Firm the partition up while the instance works.
+        let _ = self.core.managers[vm_idx].mark_firm(pid);
+    }
+
+    fn on_idle(&mut self, vm_idx: usize, pid: Pid) {
+        // Newly idle instances offer their partition back.
+        let _ = self.core.managers[vm_idx].mark_soft(pid);
+    }
+
+    fn on_exit(&mut self, vm_idx: usize, pid: Pid) {
+        self.core.on_exit(vm_idx, pid);
+    }
+
+    fn reclaim_on_evict(
+        &mut self,
+        vm_idx: usize,
+        v: &mut VmRt,
+        host: &mut HostMemory,
+        _bytes: u64,
+        now: SimTime,
+        _deadline: SimDuration,
+        cost: &CostModel,
+    ) -> ReclaimStart {
+        self.core.reclaim_on_evict(vm_idx, v, host, now, cost)
+    }
+
+    /// Pressure valve: revoke soft partitions of idle instances
+    /// (without evicting them) until `deficit` host bytes are covered
+    /// or nothing soft is left. Revoked instances go hollow.
+    fn revoke_for_pressure(
+        &mut self,
+        vms: &mut [VmRt],
+        host: &mut HostMemory,
+        deficit: u64,
+        cost: &CostModel,
+    ) {
+        let mut released = 0u64;
+        for (vi, v) in vms.iter_mut().enumerate() {
+            while released < deficit {
+                let used_before = host.used_bytes();
+                let sq = &mut self.core.managers[vi];
+                let revoked = sq.revoke_soft(&mut v.vm, host, 1, cost).unwrap_or_default();
+                let Some((part, report)) = revoked.into_iter().next() else {
+                    break;
+                };
+                released += used_before - host.used_bytes();
+                // The partition's instance goes hollow.
+                if let Some((&id, _)) = v
+                    .instances
+                    .iter()
+                    .find(|(_, i)| i.partition == Some(part) && i.state == InstState::Warm)
+                {
+                    v.instances.get_mut(&id).expect("exists").state = InstState::Hollow;
+                }
+                let r = &mut v.reclaim;
+                r.bytes += report.bytes();
+                r.wall += report.latency();
+                r.ops += 1;
+            }
+            if released >= deficit {
+                break;
+            }
+        }
+    }
+
+    /// Re-plugs a hollow (soft-revoked) instance: the container and
+    /// runtime survived, so only the partition plug and the
+    /// working-set rebuild are paid (the §7 soft-cold start).
+    fn rebuild(&mut self, vm_idx: usize, v: &mut VmRt, pid: Pid, cost: &CostModel) -> RebuildStart {
+        let sq = &mut self.core.managers[vm_idx];
+        match sq.mark_firm(pid).expect("hollow instance is attached") {
+            SoftWake::NeedsReplug => {
+                let report = sq.replug(&mut v.vm, pid, cost).expect("revoked");
+                RebuildStart::Replug {
+                    latency: report.latency(),
+                }
+            }
+            SoftWake::Warm => {
+                // The partition was never unplugged after all.
+                RebuildStart::Warm
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The statically over-provisioned baseline (Figure 1's motivation).
+//!
+//! All memory is plugged at boot and never reclaimed: instant
+//! scale-ups, maximal host footprint.
+
+use guest_mm::Pid;
+use sim_core::{CostModel, SimDuration, SimTime};
+use vmm::{HostMemory, Vm};
+
+use crate::config::VmSpec;
+use crate::sim::host::VmRt;
+
+use super::{default_hotplug_bytes, ElasticityBackend, PlugResolution, PlugStart, ReclaimStart};
+
+pub(crate) struct StaticBackend;
+
+impl ElasticityBackend for StaticBackend {
+    fn hotplug_bytes(
+        &self,
+        _spec: &VmSpec,
+        total_limit: u64,
+        shared_bytes: u64,
+        max_limit: u64,
+    ) -> u64 {
+        default_hotplug_bytes(total_limit, shared_bytes, max_limit)
+    }
+
+    fn install_vm(
+        &mut self,
+        vm: &mut Vm,
+        _spec: &VmSpec,
+        _shared_bytes: u64,
+        hotplug_bytes: u64,
+        cost: &CostModel,
+    ) {
+        // Over-provisioned VM: everything plugged at boot.
+        vm.plug(hotplug_bytes, cost)
+            .expect("static plug fits region");
+    }
+
+    fn begin_plug(
+        &mut self,
+        _vm_idx: usize,
+        _v: &mut VmRt,
+        _pid: Pid,
+        _bytes: u64,
+        _cost: &CostModel,
+    ) -> PlugStart {
+        // Memory is already there.
+        PlugStart::Ready { partition: None }
+    }
+
+    fn finish_plug(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        inst: u64,
+        _cost: &CostModel,
+    ) -> PlugResolution {
+        // Unreachable in practice (static never schedules a PlugDone),
+        // but harmless: mark the instance and let init proceed.
+        if let Some(i) = v.instances.get_mut(&inst) {
+            i.plug_done = true;
+        }
+        PlugResolution {
+            ready: vec![inst],
+            replug: None,
+        }
+    }
+
+    fn reclaim_on_evict(
+        &mut self,
+        _vm_idx: usize,
+        _v: &mut VmRt,
+        _host: &mut HostMemory,
+        _bytes: u64,
+        _now: SimTime,
+        _deadline: SimDuration,
+        _cost: &CostModel,
+    ) -> ReclaimStart {
+        // Never reclaims (the flat host line of Figure 1).
+        ReclaimStart::None
+    }
+}

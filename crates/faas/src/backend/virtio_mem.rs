@@ -1,0 +1,148 @@
+//! Vanilla virtio-mem hot-unplug with page migrations.
+//!
+//! Scale-ups plug limit-sized chunks asynchronously; scale-downs unplug
+//! under a deadline, migrating interleaved pages on the guest's vCPUs
+//! (the Figure-9 interference) and retrying shortfalls in the
+//! background like the real driver's ongoing requests.
+
+use guest_mm::Pid;
+use sim_core::{CostModel, SimDuration, SimTime};
+use vmm::{HostMemory, Vm};
+
+use crate::config::VmSpec;
+use crate::sim::host::VmRt;
+use crate::sim::instance::PendingReclaim;
+
+use super::{default_hotplug_bytes, ElasticityBackend, PlugResolution, PlugStart, ReclaimStart};
+
+pub(crate) struct VirtioMemBackend;
+
+/// One deadline-bounded virtio-mem unplug of `bytes`, with `retries`
+/// more background attempts for whatever the deadline leaves behind.
+/// Shared by the vanilla and HarvestVM-opts backends.
+pub(crate) fn virtio_reclaim(
+    v: &mut VmRt,
+    host: &mut HostMemory,
+    bytes: u64,
+    deadline: SimDuration,
+    retries: u8,
+    now: SimTime,
+    cost: &CostModel,
+) -> ReclaimStart {
+    let used_before = host.used_bytes();
+    let report = match v.vm.unplug(host, bytes, Some(deadline), cost) {
+        Ok(r) => r,
+        Err(_) => return ReclaimStart::None,
+    };
+    if report.bytes() == 0 && report.outcome.migrated == 0 {
+        // Nothing reclaimable (no candidates): drop silently.
+        return ReclaimStart::None;
+    }
+    let released = used_before - host.used_bytes();
+    host.reserve(released).expect("just freed");
+    ReclaimStart::Kthread {
+        pending: PendingReclaim {
+            host_bytes: released,
+            guest_bytes: report.bytes(),
+            started: now,
+            shortfall: report.shortfall_bytes > 0,
+            pages_migrated: report.outcome.migrated,
+            shortfall_bytes: report.shortfall_bytes,
+            retries_left: retries,
+        },
+        cpu_s: report.guest_cpu.as_secs_f64(),
+    }
+}
+
+/// The async limit-sized plug shared by the virtio-family backends.
+pub(crate) fn virtio_plug(v: &mut VmRt, bytes: u64, cost: &CostModel) -> PlugStart {
+    match v.vm.plug(bytes, cost) {
+        Ok(report) => PlugStart::Scheduled {
+            latency: report.latency(),
+        },
+        // Region exhausted (reclaim shortfalls): the request stays
+        // queued for a warm instance.
+        Err(_) => PlugStart::Failed,
+    }
+}
+
+/// The trivial plug completion shared by every non-partitioned backend.
+pub(crate) fn mark_plug_done(v: &mut VmRt, inst: u64) -> PlugResolution {
+    if let Some(i) = v.instances.get_mut(&inst) {
+        i.plug_done = true;
+    }
+    PlugResolution {
+        ready: vec![inst],
+        replug: None,
+    }
+}
+
+impl ElasticityBackend for VirtioMemBackend {
+    fn hotplug_bytes(
+        &self,
+        _spec: &VmSpec,
+        total_limit: u64,
+        shared_bytes: u64,
+        max_limit: u64,
+    ) -> u64 {
+        default_hotplug_bytes(total_limit, shared_bytes, max_limit)
+    }
+
+    fn install_vm(
+        &mut self,
+        _vm: &mut Vm,
+        _spec: &VmSpec,
+        _shared_bytes: u64,
+        _hotplug_bytes: u64,
+        _cost: &CostModel,
+    ) {
+    }
+
+    fn begin_plug(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        _pid: Pid,
+        bytes: u64,
+        cost: &CostModel,
+    ) -> PlugStart {
+        virtio_plug(v, bytes, cost)
+    }
+
+    fn finish_plug(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        inst: u64,
+        _cost: &CostModel,
+    ) -> PlugResolution {
+        mark_plug_done(v, inst)
+    }
+
+    fn reclaim_on_evict(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        host: &mut HostMemory,
+        bytes: u64,
+        now: SimTime,
+        deadline: SimDuration,
+        cost: &CostModel,
+    ) -> ReclaimStart {
+        virtio_reclaim(v, host, bytes, deadline, 1, now, cost)
+    }
+
+    fn retry_reclaim(
+        &mut self,
+        _vm_idx: usize,
+        v: &mut VmRt,
+        host: &mut HostMemory,
+        bytes: u64,
+        retries: u8,
+        now: SimTime,
+        deadline: SimDuration,
+        cost: &CostModel,
+    ) -> ReclaimStart {
+        virtio_reclaim(v, host, bytes, deadline, retries, now, cost)
+    }
+}

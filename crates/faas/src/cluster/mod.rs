@@ -1,0 +1,357 @@
+//! The multi-host cluster simulator.
+//!
+//! [`ClusterSim`] runs N [`HostSim`]s under **one** event engine: a
+//! single deterministic queue interleaves every host's events with the
+//! cluster-level tenant arrivals, and a pluggable [`Router`] assigns
+//! each arriving request to a host at pop time — so dynamic policies
+//! (least-loaded, warm-affinity) see real-time load, not a static
+//! partition of the trace.
+//!
+//! Determinism is structural: the shared queue breaks time ties FIFO,
+//! arrivals are scheduled in tenant order at construction (exactly the
+//! order [`crate::FaasSim`] uses), and routers are deterministic. With
+//! one host and the [`SingleHost`] router, the queue contents and hence
+//! the run are *byte-identical* to the single-host simulator — a
+//! property the `cluster_equivalence` test pins for random traces.
+
+mod router;
+
+pub use router::{HostLoad, LeastLoaded, RoundRobin, Router, SingleHost, WarmAffinity};
+
+use std::collections::BTreeMap;
+
+use sim_core::{EventQueue, Histogram, SimDuration, SimTime};
+use vmm::VmmError;
+use workloads::FunctionKind;
+
+use crate::config::SimConfig;
+use crate::metrics::SimResult;
+use crate::sim::events::{Event, EventSink};
+use crate::sim::host::HostSim;
+
+/// One tenant's invocation trace, addressed to a deployment slot every
+/// host exposes.
+#[derive(Clone, Debug)]
+pub struct TenantTrace {
+    /// VM index of the tenant's deployment on each host.
+    pub vm: usize,
+    /// Deployment index within that VM.
+    pub dep: usize,
+    /// Sorted arrival times in seconds.
+    pub arrivals: Vec<f64>,
+}
+
+/// A cluster: per-host simulation configs plus the tenant traces the
+/// router spreads over them.
+///
+/// Every host must expose each tenant's `(vm, dep)` deployment slot;
+/// arrival lists inside the host configs are ignored (the cluster owns
+/// the traces). Hosts share `duration_s`.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-host simulation configs.
+    pub hosts: Vec<SimConfig>,
+    /// The tenant traces routed across the hosts.
+    pub tenants: Vec<TenantTrace>,
+}
+
+impl ClusterConfig {
+    /// Wraps a single-host config into a cluster: its deployments'
+    /// arrival traces become the tenant traces. With the
+    /// [`SingleHost`] router this reproduces `FaasSim::new(cfg)`
+    /// byte-for-byte.
+    pub fn from_single(cfg: SimConfig) -> ClusterConfig {
+        let tenants = cfg
+            .vms
+            .iter()
+            .enumerate()
+            .flat_map(|(vi, spec)| {
+                spec.deployments
+                    .iter()
+                    .enumerate()
+                    .map(move |(di, d)| TenantTrace {
+                        vm: vi,
+                        dep: di,
+                        arrivals: d.arrivals.clone(),
+                    })
+            })
+            .collect();
+        ClusterConfig {
+            hosts: vec![cfg],
+            tenants,
+        }
+    }
+}
+
+/// Events of the shared cluster engine.
+enum ClusterEvent {
+    /// A tenant request arrives and must be routed.
+    Incoming { tenant: usize },
+    /// A host-internal event.
+    Host { host: usize, ev: Event },
+}
+
+/// Adapter tagging one host's scheduled events into the shared queue.
+struct HostSink<'a> {
+    q: &'a mut EventQueue<ClusterEvent>,
+    host: usize,
+}
+
+impl EventSink for HostSink<'_> {
+    fn push(&mut self, at: SimTime, ev: Event) {
+        self.q.push(
+            at,
+            ClusterEvent::Host {
+                host: self.host,
+                ev,
+            },
+        );
+    }
+}
+
+/// Everything a cluster run produces.
+pub struct ClusterResult {
+    /// Per-host simulation results, in host order.
+    pub hosts: Vec<SimResult>,
+    /// Requests routed to `[host][tenant]`.
+    pub routed: Vec<Vec<u64>>,
+    /// Total requests completed across the cluster.
+    pub completed: u64,
+}
+
+impl ClusterResult {
+    /// Cluster-wide request-latency histograms, merged per function.
+    pub fn merged_latency(&self) -> BTreeMap<FunctionKind, Histogram> {
+        let mut merged: BTreeMap<FunctionKind, Histogram> = BTreeMap::new();
+        for host in &self.hosts {
+            for (&kind, m) in &host.per_func {
+                merged.entry(kind).or_default().merge(&m.latency);
+            }
+        }
+        merged
+    }
+
+    /// Cluster-wide cold and warm start counts.
+    pub fn cold_warm_starts(&self) -> (u64, u64) {
+        self.hosts
+            .iter()
+            .flat_map(|h| h.per_func.values())
+            .fold((0, 0), |(c, w), m| (c + m.cold_starts, w + m.warm_starts))
+    }
+
+    /// Integrated host memory footprint across the cluster (GiB·s).
+    pub fn total_gib_seconds(&self) -> f64 {
+        self.hosts.iter().map(|h| h.gib_seconds()).sum()
+    }
+
+    /// Requests routed per host (imbalance diagnostics).
+    pub fn routed_per_host(&self) -> Vec<u64> {
+        self.routed
+            .iter()
+            .map(|per_tenant| per_tenant.iter().sum())
+            .collect()
+    }
+}
+
+/// The multi-host FaaS cluster simulator.
+pub struct ClusterSim {
+    hosts: Vec<HostSim>,
+    tenants: Vec<TenantTrace>,
+    router: Box<dyn Router>,
+    events: EventQueue<ClusterEvent>,
+    routed: Vec<Vec<u64>>,
+}
+
+impl ClusterSim {
+    /// Boots every host and schedules the tenant traces (in tenant
+    /// order, then one sample chain per host — the same construction
+    /// order as the single-host simulator).
+    pub fn new(config: ClusterConfig, router: Box<dyn Router>) -> Result<ClusterSim, VmmError> {
+        assert!(
+            !config.hosts.is_empty(),
+            "a cluster needs at least one host"
+        );
+        let duration_s = config.hosts[0].duration_s;
+        let hosts: Vec<HostSim> = config
+            .hosts
+            .into_iter()
+            .map(HostSim::new)
+            .collect::<Result<_, _>>()?;
+        let mut events = EventQueue::new();
+        for (ti, t) in config.tenants.iter().enumerate() {
+            for &a in t.arrivals.iter().filter(|&&a| a < duration_s) {
+                events.push(
+                    SimTime::ZERO + SimDuration::from_secs_f64(a),
+                    ClusterEvent::Incoming { tenant: ti },
+                );
+            }
+        }
+        for host in 0..hosts.len() {
+            events.push(
+                SimTime::ZERO,
+                ClusterEvent::Host {
+                    host,
+                    ev: Event::Sample,
+                },
+            );
+        }
+        let routed = vec![vec![0; config.tenants.len()]; hosts.len()];
+        Ok(ClusterSim {
+            hosts,
+            tenants: config.tenants,
+            router,
+            events,
+            routed,
+        })
+    }
+
+    /// Runs the cluster to completion.
+    pub fn run(mut self) -> ClusterResult {
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                ClusterEvent::Incoming { tenant } => {
+                    let t = &self.tenants[tenant];
+                    let loads: Vec<HostLoad> = self
+                        .hosts
+                        .iter()
+                        .map(|h| HostLoad {
+                            warm_idle: h.warm_idle_of(t.vm, t.dep),
+                            alive: h.alive_of(t.vm, t.dep),
+                            queued: h.queued_requests(),
+                            active: h.active_instances(),
+                            free_bytes: h.free_bytes(),
+                        })
+                        .collect();
+                    let h = self.router.route(tenant, &loads);
+                    assert!(
+                        h < self.hosts.len(),
+                        "router returned host {h} of {}",
+                        self.hosts.len()
+                    );
+                    self.routed[h][tenant] += 1;
+                    let (vm, dep) = (t.vm, t.dep);
+                    let mut sink = HostSink {
+                        q: &mut self.events,
+                        host: h,
+                    };
+                    self.hosts[h].handle(now, Event::Arrival { vm, dep }, &mut sink);
+                }
+                ClusterEvent::Host { host, ev } => {
+                    let mut sink = HostSink {
+                        q: &mut self.events,
+                        host,
+                    };
+                    self.hosts[host].handle(now, ev, &mut sink);
+                }
+            }
+        }
+        let hosts: Vec<SimResult> = self.hosts.into_iter().map(HostSim::finish).collect();
+        let completed = hosts.iter().map(|h| h.completed).sum();
+        ClusterResult {
+            hosts,
+            routed: self.routed,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BackendKind, Deployment, HarvestConfig, VmSpec};
+
+    fn host_cfg(backend: BackendKind, tenants: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            backend,
+            harvest: HarvestConfig::default(),
+            vms: vec![VmSpec {
+                deployments: (0..tenants)
+                    .map(|_| Deployment {
+                        kind: FunctionKind::Html,
+                        concurrency: 2,
+                        arrivals: Vec::new(),
+                    })
+                    .collect(),
+                vcpus: Some(2.0),
+            }],
+            host_capacity: u64::MAX / 2,
+            keepalive_s: 20.0,
+            duration_s: 60.0,
+            sample_period_s: 1.0,
+            unplug_deadline_ms: 5_000,
+            record_latency_points: false,
+            seed,
+            trial: 0,
+        }
+    }
+
+    fn two_host_cluster(router: Box<dyn Router>) -> ClusterResult {
+        let config = ClusterConfig {
+            hosts: vec![
+                host_cfg(BackendKind::Squeezy, 2, 1),
+                host_cfg(BackendKind::Squeezy, 2, 2),
+            ],
+            tenants: vec![
+                TenantTrace {
+                    vm: 0,
+                    dep: 0,
+                    arrivals: vec![1.0, 1.1, 1.2, 1.3, 20.0, 20.1],
+                },
+                TenantTrace {
+                    vm: 0,
+                    dep: 1,
+                    arrivals: vec![2.0, 2.1, 30.0],
+                },
+            ],
+        };
+        ClusterSim::new(config, router).expect("boot").run()
+    }
+
+    #[test]
+    fn round_robin_spreads_over_hosts() {
+        let result = two_host_cluster(Box::new(RoundRobin::default()));
+        assert_eq!(result.completed, 9, "every request served");
+        let per_host = result.routed_per_host();
+        assert_eq!(per_host, vec![5, 4], "alternating assignment");
+    }
+
+    #[test]
+    fn single_host_router_leaves_other_hosts_idle() {
+        let result = two_host_cluster(Box::new(SingleHost));
+        assert_eq!(result.completed, 9);
+        assert_eq!(result.routed_per_host()[1], 0);
+        assert_eq!(result.hosts[1].completed, 0);
+    }
+
+    #[test]
+    fn warm_affinity_reuses_warm_instances_more() {
+        let warm = two_host_cluster(Box::new(WarmAffinity));
+        let rr = two_host_cluster(Box::new(RoundRobin::default()));
+        assert_eq!(warm.completed, rr.completed);
+        let (_, warm_hits) = warm.cold_warm_starts();
+        let (_, rr_hits) = rr.cold_warm_starts();
+        assert!(
+            warm_hits >= rr_hits,
+            "affinity warm hits {warm_hits} ≥ round-robin {rr_hits}"
+        );
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let a = two_host_cluster(Box::new(LeastLoaded));
+        let b = two_host_cluster(Box::new(LeastLoaded));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.routed, b.routed);
+        let da: Vec<u64> = a.hosts.iter().map(SimResult::digest).collect();
+        let db: Vec<u64> = b.hosts.iter().map(SimResult::digest).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn merged_latency_covers_all_requests() {
+        let result = two_host_cluster(Box::new(RoundRobin::default()));
+        let merged = result.merged_latency();
+        let total: usize = merged.values().map(Histogram::count).sum();
+        assert_eq!(total as u64, result.completed);
+    }
+}

@@ -1,0 +1,161 @@
+//! Request routing policies for the cluster simulator.
+//!
+//! A [`Router`] maps each arriving request to a host, deterministically,
+//! from a snapshot of per-host load ([`HostLoad`]). Ties always break
+//! toward the lowest host index so runs are reproducible.
+
+/// A deterministic snapshot of one host's load, taken at routing time
+/// for the arriving tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct HostLoad {
+    /// Idle warm instances of the tenant's deployment on this host.
+    pub warm_idle: usize,
+    /// Live instances (any state) of the tenant's deployment.
+    pub alive: usize,
+    /// Queued requests across all of the host's deployments.
+    pub queued: usize,
+    /// Busy or starting instances across the host.
+    pub active: usize,
+    /// Free host memory in bytes.
+    pub free_bytes: u64,
+}
+
+impl HostLoad {
+    /// The scalar load metric the default policies order hosts by.
+    pub fn pressure(&self) -> usize {
+        self.queued + self.active
+    }
+}
+
+/// Chooses a host for each arriving request.
+///
+/// Implementations must be deterministic functions of their own state
+/// and the provided snapshot: the cluster simulator's reproducibility
+/// (and its byte-identity property with one host) depends on it.
+pub trait Router {
+    /// Display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Returns the index of the host that serves this request.
+    /// `hosts` is never empty; the returned index must be in range.
+    fn route(&mut self, tenant: usize, hosts: &[HostLoad]) -> usize;
+}
+
+/// Routes everything to host 0 — the passthrough router that makes a
+/// one-host cluster reproduce the single-host simulator exactly.
+pub struct SingleHost;
+
+impl Router for SingleHost {
+    fn name(&self) -> &'static str {
+        "single-host"
+    }
+
+    fn route(&mut self, _tenant: usize, _hosts: &[HostLoad]) -> usize {
+        0
+    }
+}
+
+/// Classic round-robin: hosts take turns regardless of load.
+#[derive(Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _tenant: usize, hosts: &[HostLoad]) -> usize {
+        let h = self.next % hosts.len();
+        self.next = (self.next + 1) % hosts.len();
+        h
+    }
+}
+
+/// Sends each request to the host with the least queued + active work.
+pub struct LeastLoaded;
+
+impl Router for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _tenant: usize, hosts: &[HostLoad]) -> usize {
+        hosts
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, h)| (h.pressure(), *i))
+            .map(|(i, _)| i)
+            .expect("at least one host")
+    }
+}
+
+/// Warm-affinity (locality) routing: prefer a host holding an idle warm
+/// instance of the tenant's function — reusing warm state beats raw
+/// balance — falling back to least-loaded when nothing is warm.
+pub struct WarmAffinity;
+
+impl Router for WarmAffinity {
+    fn name(&self) -> &'static str {
+        "warm-affinity"
+    }
+
+    fn route(&mut self, tenant: usize, hosts: &[HostLoad]) -> usize {
+        let warm = hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.warm_idle > 0)
+            .min_by_key(|(i, h)| (h.pressure(), *i))
+            .map(|(i, _)| i);
+        match warm {
+            Some(i) => i,
+            None => LeastLoaded.route(tenant, hosts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(warm_idle: usize, queued: usize, active: usize) -> HostLoad {
+        HostLoad {
+            warm_idle,
+            alive: warm_idle,
+            queued,
+            active,
+            free_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let hosts = vec![load(0, 0, 0); 3];
+        let mut r = RoundRobin::default();
+        let picks: Vec<usize> = (0..7).map(|_| r.route(0, &hosts)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum_with_stable_ties() {
+        let hosts = vec![load(0, 2, 1), load(0, 0, 1), load(0, 1, 0), load(0, 0, 1)];
+        assert_eq!(LeastLoaded.route(0, &hosts), 1, "tie breaks to index 1");
+    }
+
+    #[test]
+    fn warm_affinity_prefers_warm_host_else_least_loaded() {
+        let hosts = vec![load(0, 0, 0), load(1, 5, 5), load(2, 8, 0)];
+        // Hosts 1 and 2 have warm instances; host 2 is less pressured
+        // (8 < 10), and the idle host 0 does not qualify.
+        assert_eq!(WarmAffinity.route(0, &hosts), 2);
+        let cold = vec![load(0, 3, 0), load(0, 1, 1), load(0, 0, 1)];
+        assert_eq!(WarmAffinity.route(0, &cold), 2, "falls back to load");
+    }
+
+    #[test]
+    fn single_host_pins_zero() {
+        let hosts = vec![load(0, 9, 9), load(5, 0, 0)];
+        assert_eq!(SingleHost.route(3, &hosts), 0);
+    }
+}

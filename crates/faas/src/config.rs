@@ -113,6 +113,12 @@ pub struct SimConfig {
     pub sample_period_s: f64,
     /// virtio-mem unplug deadline (reclaim timeout) in milliseconds.
     pub unplug_deadline_ms: u64,
+    /// Record one `(arrival, latency)` point per completed request in
+    /// [`crate::FuncMetrics::latency_points`] (needed only by
+    /// time-resolved plots like Figure 9). Opt-in: long cluster runs
+    /// leave this off so memory stays bounded by the sample count of
+    /// the aggregate histograms, not the request count.
+    pub record_latency_points: bool,
     /// RNG seed for execution-time jitter.
     pub seed: u64,
     /// Trial number within a repeated experiment. The simulation's
@@ -137,6 +143,7 @@ impl SimConfig {
             duration_s,
             sample_period_s: 1.0,
             unplug_deadline_ms: 5_000,
+            record_latency_points: true,
             seed: 42,
             trial: 0,
         }

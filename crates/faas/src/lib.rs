@@ -1,18 +1,39 @@
 //! An OpenWhisk-style FaaS runtime model over dynamically resized VMs.
 //!
-//! Reproduces the paper's deployment (§4.2, §5): a controller routes
-//! invocations to per-VM agents that reuse warm instances, scale up with
-//! memory plugs, keep idle instances alive for 2 minutes and scale down
-//! with memory reclamation through one of four elasticity backends
-//! (Static, vanilla virtio-mem, HarvestVM-opts, Squeezy). Also provides
-//! the 1:1 microVM cold-start model for the Figure-11 comparison.
+//! Reproduces the paper's deployment (§4.2, §5) in three explicit
+//! layers:
+//!
+//! * **Backend layer** ([`backend`], internal): the pluggable
+//!   [`BackendKind`] elasticity backends — Static, vanilla virtio-mem,
+//!   HarvestVM-opts, Squeezy, Squeezy+soft — each in its own module
+//!   behind one `ElasticityBackend` trait (plug/scale-up cost,
+//!   reclaim-on-evict, pressure/revocation hooks).
+//! * **Host layer** ([`sim`]): one host's backend-agnostic event loop —
+//!   a controller routes invocations to per-VM agents that reuse warm
+//!   instances, scale up with memory plugs, keep idle instances alive
+//!   and scale down with memory reclamation. [`FaasSim`] drives a
+//!   single host, the paper's deployment.
+//! * **Cluster layer** ([`cluster`]): [`ClusterSim`] runs N hosts under
+//!   one event engine with a pluggable [`Router`] (round-robin,
+//!   least-loaded, warm-affinity); with one host and the
+//!   [`cluster::SingleHost`] router it reproduces [`FaasSim`]
+//!   byte-for-byte.
+//!
+//! Also provides the 1:1 microVM cold-start model for the Figure-11
+//! comparison.
 
+pub(crate) mod backend;
+pub mod cluster;
 pub mod config;
 pub mod hybrid;
 pub mod metrics;
 pub mod microvm;
 pub mod sim;
 
+pub use cluster::{
+    ClusterConfig, ClusterResult, ClusterSim, HostLoad, LeastLoaded, RoundRobin, Router,
+    SingleHost, TenantTrace, WarmAffinity,
+};
 pub use config::{BackendKind, Deployment, HarvestConfig, SimConfig, VmSpec};
 pub use hybrid::{absorb_burst, BurstOutcome, ScaleStrategy};
 pub use metrics::{FuncMetrics, ReclaimTotals, SimResult};

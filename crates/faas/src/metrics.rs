@@ -23,6 +23,11 @@ pub struct FuncMetrics {
 
 impl FuncMetrics {
     /// Mean latency of requests arriving in `[from_s, to_s)`.
+    ///
+    /// Needs [`SimConfig::record_latency_points`] enabled — returns
+    /// `None` for empty windows (or when points were not recorded).
+    ///
+    /// [`SimConfig::record_latency_points`]: crate::SimConfig::record_latency_points
     pub fn mean_latency_in(&self, from_s: f64, to_s: f64) -> Option<f64> {
         let pts: Vec<f64> = self
             .latency_points
@@ -33,7 +38,7 @@ impl FuncMetrics {
         if pts.is_empty() {
             None
         } else {
-            Some(pts.iter().sum::<f64>() / pts.len() as f64)
+            Some(sim_core::metrics::mean(&pts))
         }
     }
 }
@@ -95,6 +100,76 @@ impl SimResult {
             .get_mut(&kind)
             .map(|m| m.latency.p99())
             .unwrap_or(0.0)
+    }
+
+    /// A stable FNV-1a digest over every field of the result —
+    /// latencies and time series at full f64 bit precision.
+    ///
+    /// Histogram samples are hashed in sorted order so the digest is
+    /// independent of quantile queries ([`Histogram::quantile`] sorts
+    /// its samples in place): querying `p99_ms` before or after
+    /// digesting never changes the value. Equal digests mean equal
+    /// sample multisets, point lists, series and counters — what the
+    /// golden-regression tests pin across refactors and what the
+    /// cluster/single-host equivalence property compares.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+        };
+        let put_histogram = |put: &mut dyn FnMut(u64), hist: &Histogram| {
+            put(hist.count() as u64);
+            let mut sorted = hist.samples().to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            for s in sorted {
+                put(s.to_bits());
+            }
+        };
+        let put_series = |put: &mut dyn FnMut(u64), ts: &TimeSeries| {
+            put(ts.len() as u64);
+            for &(t, v) in ts.points() {
+                put(t.0);
+                put(v.to_bits());
+            }
+        };
+        put(self.completed);
+        put(self.end.0);
+        put(self.per_func.len() as u64);
+        for (kind, m) in &self.per_func {
+            for b in kind.name().bytes() {
+                put(b as u64);
+            }
+            put(m.cold_starts);
+            put(m.warm_starts);
+            put_histogram(&mut put, &m.latency);
+            put_histogram(&mut put, &m.cold_start_latency);
+            put(m.latency_points.len() as u64);
+            for &(a, l) in &m.latency_points {
+                put(a.to_bits());
+                put(l.to_bits());
+            }
+        }
+        put_series(&mut put, &self.host_usage);
+        put(self.guest_usage.len() as u64);
+        for ts in &self.guest_usage {
+            put_series(&mut put, ts);
+        }
+        put(self.instance_counts.len() as u64);
+        for ts in &self.instance_counts {
+            put_series(&mut put, ts);
+        }
+        put(self.reclaims.len() as u64);
+        for r in &self.reclaims {
+            put(r.bytes);
+            put(r.wall.0);
+            put(r.ops);
+            put(r.shortfalls);
+            put(r.pages_migrated);
+        }
+        h
     }
 
     /// Aggregate reclaim totals across VMs.

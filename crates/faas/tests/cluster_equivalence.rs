@@ -1,0 +1,88 @@
+//! Property: a one-host cluster with the passthrough router is
+//! *byte-identical* to the single-host simulator — for every backend,
+//! over randomized bursty traces, seeds and trials.
+//!
+//! This is the load-bearing guarantee of the cluster layer: the shared
+//! event engine, the sink adapter and pop-time routing add zero
+//! behavioral drift, so cluster experiments remain comparable with
+//! every single-host figure of the paper.
+
+use faas::{
+    BackendKind, ClusterConfig, ClusterSim, Deployment, FaasSim, HarvestConfig, SimConfig,
+    SingleHost, VmSpec,
+};
+use mem_types::GIB;
+use sim_core::DetRng;
+use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
+
+fn random_config(rng: &mut DetRng) -> SimConfig {
+    let backends = [
+        BackendKind::Static,
+        BackendKind::VirtioMem,
+        BackendKind::HarvestOpts,
+        BackendKind::Squeezy,
+        BackendKind::SqueezySoft,
+    ];
+    let backend = backends[rng.range(0, backends.len() as u64) as usize];
+    let kinds = [FunctionKind::Html, FunctionKind::Cnn, FunctionKind::Bfs];
+    let duration_s = 120.0;
+    let ndeps = 1 + rng.range(0, 2) as usize;
+    let deployments = (0..ndeps)
+        .map(|d| {
+            let trace = BurstyTraceConfig {
+                duration_s,
+                base_rps: rng.range_f64(0.05, 0.3),
+                burst_rps: rng.range_f64(1.0, 4.0),
+                mean_burst_s: 10.0,
+                mean_idle_s: 30.0,
+            };
+            let mut trng = rng.derive(d as u64 + 1);
+            Deployment {
+                kind: kinds[rng.range(0, kinds.len() as u64) as usize],
+                concurrency: 2 + rng.range(0, 3) as u32,
+                arrivals: bursty_arrivals(&trace, &mut trng),
+            }
+        })
+        .collect();
+    SimConfig {
+        backend,
+        harvest: HarvestConfig::default(),
+        vms: vec![VmSpec {
+            deployments,
+            vcpus: Some(2.0),
+        }],
+        // Half the runs under real memory pressure.
+        host_capacity: if rng.chance(0.5) {
+            3 * GIB
+        } else {
+            u64::MAX / 2
+        },
+        keepalive_s: rng.range_f64(10.0, 40.0),
+        duration_s,
+        sample_period_s: 1.0,
+        unplug_deadline_ms: 5_000,
+        record_latency_points: rng.chance(0.5),
+        seed: rng.range(0, 1 << 32),
+        trial: rng.range(0, 8),
+    }
+}
+
+#[test]
+fn one_host_cluster_is_byte_identical_to_faas_sim() {
+    let mut rng = DetRng::new(0x50C1E7);
+    for case in 0..12 {
+        let cfg = random_config(&mut rng);
+        let backend = cfg.backend;
+        let single = FaasSim::new(cfg.clone()).expect("boot").run();
+        let cluster = ClusterSim::new(ClusterConfig::from_single(cfg), Box::new(SingleHost))
+            .expect("boot")
+            .run();
+        assert_eq!(cluster.hosts.len(), 1);
+        assert_eq!(
+            single.digest(),
+            cluster.hosts[0].digest(),
+            "case {case} ({backend:?}): cluster host diverged from FaasSim"
+        );
+        assert_eq!(single.completed, cluster.completed);
+    }
+}

@@ -30,6 +30,19 @@ impl Histogram {
         self.record(d.as_millis_f64());
     }
 
+    /// Returns the raw samples in insertion order (or sorted order if a
+    /// quantile has been taken since the last insert).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Absorbs all of `other`'s samples (e.g. merging per-host
+    /// histograms into a cluster-wide one).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Returns the number of samples.
     pub fn count(&self) -> usize {
         self.samples.len()
@@ -261,6 +274,18 @@ impl BusyRecorder {
     }
 }
 
+/// Returns the arithmetic mean of `xs` (0 if empty).
+///
+/// The single shared definition of "mean" used by the bench tables, so
+/// figure modules don't each carry their own divide-by-len helper.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
 /// Returns the geometric mean of `xs` (0 if empty).
 ///
 /// # Panics
@@ -362,6 +387,27 @@ mod tests {
         b.add_interval(SimTime::ZERO, SimTime(1_000_000_000), 0.5);
         let u = b.utilization(SimTime(1_000_000_000));
         assert!((u[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_samples_and_merge() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        a.record(3.0);
+        let mut b = Histogram::new();
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.samples(), &[1.0, 3.0, 2.0]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.p50(), 2.0, "merged samples participate in quantiles");
+        assert_eq!(b.count(), 1, "merge leaves the source untouched");
+    }
+
+    #[test]
+    fn mean_of_slice() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert!((mean(&[1.0, 2.0, 6.0]) - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Zipf-skewed multi-tenant cluster workloads.
+//!
+//! A production FaaS cluster serves many tenants whose popularity is
+//! heavy-tailed: the Azure trace analyses the paper builds on \[34, 66\]
+//! report Zipf-like invocation shares with bursts concentrating on hot
+//! functions. This module synthesizes that shape for the cluster
+//! simulator: `n` tenants, rank-`r` tenant carrying a Zipf(`s`) share
+//! of the total request rate through a bursty on/off process, with
+//! function types cycled over the Table-1 mix so every run exercises
+//! heterogeneous footprints.
+
+use sim_core::DetRng;
+
+use crate::functions::FunctionKind;
+use crate::trace::zipf_function_traces;
+
+/// Parameters of a multi-tenant cluster workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiTenantConfig {
+    /// Number of tenant functions (rank 0 is the hottest).
+    pub tenants: usize,
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Total average request rate across all tenants.
+    pub total_rps: f64,
+    /// Zipf popularity exponent (1.0 ≈ the published Azure fits).
+    pub zipf_exponent: f64,
+}
+
+/// One tenant's synthesized load.
+#[derive(Clone, Debug)]
+pub struct TenantLoad {
+    /// The tenant's function type (cycled over the Table-1 mix by
+    /// popularity rank).
+    pub kind: FunctionKind,
+    /// Sorted arrival times in seconds.
+    pub arrivals: Vec<f64>,
+}
+
+/// Synthesizes the tenant mix: Zipf-ranked bursty traces, one per
+/// tenant, deterministic in `rng`.
+///
+/// # Panics
+///
+/// Panics if `cfg.tenants == 0`.
+pub fn multi_tenant_workload(cfg: &MultiTenantConfig, rng: &mut DetRng) -> Vec<TenantLoad> {
+    assert!(cfg.tenants > 0, "a cluster workload needs tenants");
+    let traces = zipf_function_traces(
+        cfg.tenants,
+        cfg.duration_s,
+        cfg.total_rps,
+        cfg.zipf_exponent,
+        rng,
+    );
+    traces
+        .into_iter()
+        .enumerate()
+        .map(|(rank, arrivals)| TenantLoad {
+            kind: FunctionKind::ALL[rank % FunctionKind::ALL.len()],
+            arrivals,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MultiTenantConfig {
+        MultiTenantConfig {
+            tenants: 8,
+            duration_s: 1800.0,
+            total_rps: 20.0,
+            zipf_exponent: 1.0,
+        }
+    }
+
+    #[test]
+    fn tenant_popularity_is_heavy_tailed() {
+        let tenants = multi_tenant_workload(&cfg(), &mut DetRng::new(5));
+        assert_eq!(tenants.len(), 8);
+        let hot = tenants[0].arrivals.len();
+        let cold = tenants[7].arrivals.len();
+        assert!(hot > 3 * cold, "rank 0 ({hot}) dominates rank 7 ({cold})");
+    }
+
+    #[test]
+    fn function_mix_cycles_over_ranks() {
+        let tenants = multi_tenant_workload(&cfg(), &mut DetRng::new(5));
+        assert_eq!(tenants[0].kind, FunctionKind::Html);
+        assert_eq!(tenants[1].kind, FunctionKind::Cnn);
+        assert_eq!(tenants[4].kind, FunctionKind::Html, "wraps around");
+    }
+
+    #[test]
+    fn deterministic_in_the_stream() {
+        let a = multi_tenant_workload(&cfg(), &mut DetRng::new(9));
+        let b = multi_tenant_workload(&cfg(), &mut DetRng::new(9));
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.arrivals, tb.arrivals);
+        }
+    }
+}

@@ -5,14 +5,18 @@
 //!   splits;
 //! * [`memhog`] — the memhog microbenchmark driving Figures 5-7;
 //! * [`trace`] — Azure-like bursty invocation trace synthesis;
+//! * [`cluster`] — Zipf-skewed multi-tenant mixes for the cluster
+//!   simulator;
 //! * [`churn`] — the Figure-2 creations/evictions-per-minute analysis.
 
 pub mod churn;
+pub mod cluster;
 pub mod functions;
 pub mod memhog;
 pub mod trace;
 
 pub use churn::{analyze_churn, ChurnResult, MinuteChurn};
+pub use cluster::{multi_tenant_workload, MultiTenantConfig, TenantLoad};
 pub use functions::{FunctionKind, FunctionProfile};
 pub use memhog::Memhog;
 pub use trace::{bursty_arrivals, zipf_function_traces, BurstyTraceConfig};
