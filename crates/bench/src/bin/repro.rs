@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid|cluster]
+//! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid|cluster|fleet]
 //!       [--quick] [--jobs N] [--trials N] [--json <path>]
 //! ```
 //!
@@ -296,6 +296,18 @@ fn main() {
                 bench::cluster::ClusterBenchConfig::paper()
             };
             bench::cluster::render(&bench::cluster::run_with(&cfg, &opts))
+        }),
+    );
+    add(
+        "Fleet",
+        all || args.what == "fleet",
+        Box::new(move || {
+            let cfg = if quick {
+                bench::fleet::FleetBenchConfig::quick()
+            } else {
+                bench::fleet::FleetBenchConfig::paper()
+            };
+            bench::fleet::render(&bench::fleet::run_with(&cfg, &opts))
         }),
     );
     add(

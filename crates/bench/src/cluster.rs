@@ -10,8 +10,8 @@
 //! percentiles, cold-start share, memory footprint and routing balance.
 
 use faas::{
-    BackendKind, ClusterConfig, ClusterSim, Deployment, HarvestConfig, LeastLoaded, RoundRobin,
-    Router, SimConfig, TenantTrace, VmSpec, WarmAffinity,
+    BackendKind, ClusterConfig, ClusterSim, Deployment, HarvestConfig, LeastLoaded,
+    PowerOfTwoChoices, RoundRobin, Router, SimConfig, TenantTrace, VmSpec, WarmAffinity,
 };
 use mem_types::GIB;
 use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
@@ -27,28 +27,32 @@ pub enum RouterKind {
     RoundRobin,
     LeastLoaded,
     WarmAffinity,
+    PowerOfTwo,
 }
 
 impl RouterKind {
     /// All policies, in table order.
-    pub const ALL: [RouterKind; 3] = [
+    pub const ALL: [RouterKind; 4] = [
         RouterKind::RoundRobin,
         RouterKind::LeastLoaded,
         RouterKind::WarmAffinity,
+        RouterKind::PowerOfTwo,
     ];
 
     /// Display name used in the table (the router's own name, so the
     /// labels cannot drift from the policy implementations).
     pub fn name(self) -> &'static str {
-        self.build().name()
+        self.build(0).name()
     }
 
-    /// Builds a fresh router instance.
-    pub fn build(self) -> Box<dyn Router> {
+    /// Builds a fresh router instance. Randomized policies derive their
+    /// probe stream from `seed`; the deterministic ones ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Router> {
         match self {
             RouterKind::RoundRobin => Box::new(RoundRobin::default()),
             RouterKind::LeastLoaded => Box::new(LeastLoaded),
             RouterKind::WarmAffinity => Box::new(WarmAffinity),
+            RouterKind::PowerOfTwo => Box::new(PowerOfTwoChoices::from_seed(seed)),
         }
     }
 }
@@ -238,7 +242,9 @@ impl Experiment for ClusterExp<'_> {
                 hosts,
                 tenants: traces,
             },
-            router.build(),
+            // Randomized routers draw from a (seed, trial)-derived
+            // stream so trials stay independent and reproducible.
+            router.build(DetRng::new(self.cfg.seed).derive(ctx.trial).seed()),
         )
         .expect("hosts boot")
         .run();
@@ -348,7 +354,7 @@ mod tests {
     #[test]
     fn grid_serves_the_offered_load() {
         let cells = run(&tiny());
-        assert_eq!(cells.len(), 9, "3 routers x 3 backends");
+        assert_eq!(cells.len(), 12, "4 routers x 3 backends");
         for c in &cells {
             assert!(c.offered > 0.0);
             assert!(

@@ -19,6 +19,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod fpr;
 pub mod hybrid;
 pub mod setup;

@@ -16,11 +16,13 @@
 
 mod router;
 
-pub use router::{HostLoad, LeastLoaded, RoundRobin, Router, SingleHost, WarmAffinity};
+pub use router::{
+    HostLoad, LeastLoaded, PowerOfTwoChoices, RoundRobin, Router, SingleHost, WarmAffinity,
+};
 
 use std::collections::BTreeMap;
 
-use sim_core::{EventQueue, Histogram, SimDuration, SimTime};
+use sim_core::{DetRng, EventQueue, Histogram, Reservoir, SimDuration, SimTime};
 use vmm::VmmError;
 use workloads::FunctionKind;
 
@@ -109,6 +111,15 @@ impl EventSink for HostSink<'_> {
     }
 }
 
+/// Retained capacity of the cluster/fleet time-resolved latency
+/// reservoirs: enough for windowed means over any run length, constant
+/// memory no matter how many requests complete.
+pub const LATENCY_RESERVOIR_CAP: usize = 4096;
+
+/// Derivation tag of the reservoir's replacement stream (from the
+/// first host's seed), distinct from every per-host jitter stream.
+pub(crate) const RESERVOIR_STREAM: u64 = 0x5E5E;
+
 /// Everything a cluster run produces.
 pub struct ClusterResult {
     /// Per-host simulation results, in host order.
@@ -117,6 +128,10 @@ pub struct ClusterResult {
     pub routed: Vec<Vec<u64>>,
     /// Total requests completed across the cluster.
     pub completed: u64,
+    /// Bounded uniform sample of `(arrival_s, latency_ms)` across the
+    /// whole cluster — time-resolved latency for long runs without
+    /// per-request memory (see [`LATENCY_RESERVOIR_CAP`]).
+    pub latency_over_time: Reservoir,
 }
 
 impl ClusterResult {
@@ -160,6 +175,7 @@ pub struct ClusterSim {
     router: Box<dyn Router>,
     events: EventQueue<ClusterEvent>,
     routed: Vec<Vec<u64>>,
+    latency_over_time: Reservoir,
 }
 
 impl ClusterSim {
@@ -172,11 +188,15 @@ impl ClusterSim {
             "a cluster needs at least one host"
         );
         let duration_s = config.hosts[0].duration_s;
-        let hosts: Vec<HostSim> = config
+        let reservoir_rng = DetRng::new(config.hosts[0].seed).derive(RESERVOIR_STREAM);
+        let mut hosts: Vec<HostSim> = config
             .hosts
             .into_iter()
             .map(HostSim::new)
             .collect::<Result<_, _>>()?;
+        for h in &mut hosts {
+            h.enable_latency_tap();
+        }
         let mut events = EventQueue::new();
         for (ti, t) in config.tenants.iter().enumerate() {
             for &a in t.arrivals.iter().filter(|&&a| a < duration_s) {
@@ -202,25 +222,20 @@ impl ClusterSim {
             router,
             events,
             routed,
+            latency_over_time: Reservoir::new(LATENCY_RESERVOIR_CAP, reservoir_rng),
         })
     }
 
     /// Runs the cluster to completion.
     pub fn run(mut self) -> ClusterResult {
         while let Some((now, ev)) = self.events.pop() {
-            match ev {
+            let touched = match ev {
                 ClusterEvent::Incoming { tenant } => {
                     let t = &self.tenants[tenant];
                     let loads: Vec<HostLoad> = self
                         .hosts
                         .iter()
-                        .map(|h| HostLoad {
-                            warm_idle: h.warm_idle_of(t.vm, t.dep),
-                            alive: h.alive_of(t.vm, t.dep),
-                            queued: h.queued_requests(),
-                            active: h.active_instances(),
-                            free_bytes: h.free_bytes(),
-                        })
+                        .map(|h| h.load_snapshot(t.vm, t.dep))
                         .collect();
                     let h = self.router.route(tenant, &loads);
                     assert!(
@@ -235,6 +250,7 @@ impl ClusterSim {
                         host: h,
                     };
                     self.hosts[h].handle(now, Event::Arrival { vm, dep }, &mut sink);
+                    h
                 }
                 ClusterEvent::Host { host, ev } => {
                     let mut sink = HostSink {
@@ -242,7 +258,11 @@ impl ClusterSim {
                         host,
                     };
                     self.hosts[host].handle(now, ev, &mut sink);
+                    host
                 }
+            };
+            for (_, arrival_s, latency_ms) in self.hosts[touched].drain_recent_latencies() {
+                self.latency_over_time.offer(arrival_s, latency_ms);
             }
         }
         let hosts: Vec<SimResult> = self.hosts.into_iter().map(HostSim::finish).collect();
@@ -251,6 +271,7 @@ impl ClusterSim {
             hosts,
             routed: self.routed,
             completed,
+            latency_over_time: self.latency_over_time,
         }
     }
 }
@@ -353,5 +374,17 @@ mod tests {
         let merged = result.merged_latency();
         let total: usize = merged.values().map(Histogram::count).sum();
         assert_eq!(total as u64, result.completed);
+    }
+
+    #[test]
+    fn latency_reservoir_sees_every_completion() {
+        let result = two_host_cluster(Box::new(RoundRobin::default()));
+        assert_eq!(result.latency_over_time.seen(), result.completed);
+        assert_eq!(result.latency_over_time.len() as u64, result.completed);
+        assert!(result
+            .latency_over_time
+            .points()
+            .iter()
+            .all(|&(t, l)| t >= 0.0 && l > 0.0));
     }
 }

@@ -2,7 +2,11 @@
 //!
 //! A [`Router`] maps each arriving request to a host, deterministically,
 //! from a snapshot of per-host load ([`HostLoad`]). Ties always break
-//! toward the lowest host index so runs are reproducible.
+//! toward the lowest host index so runs are reproducible; randomized
+//! policies ([`PowerOfTwoChoices`]) draw from their own seeded
+//! [`DetRng`] stream, which keeps them deterministic too.
+
+use sim_core::DetRng;
 
 /// A deterministic snapshot of one host's load, taken at routing time
 /// for the arriving tenant.
@@ -115,6 +119,56 @@ impl Router for WarmAffinity {
     }
 }
 
+/// Power-of-two-choices: sample two hosts uniformly from a private
+/// seeded stream and send the request to the less pressured of the
+/// pair (ties toward the lower index).
+///
+/// The classic result (Mitzenmacher '01) is that two random probes cut
+/// the maximum queue imbalance exponentially versus one, while staying
+/// *stale-view tolerant*: the policy compares only the two sampled
+/// hosts, so a control plane whose [`HostLoad`] snapshots lag reality —
+/// or a fleet whose host set churns between requests — never herds
+/// every arrival onto one "least loaded" victim the way a full argmin
+/// over a stale view does. Sampling is positional: the router needs no
+/// stable host identities, which is exactly what a fleet with booting,
+/// draining and failing hosts can't provide.
+pub struct PowerOfTwoChoices {
+    rng: DetRng,
+}
+
+impl PowerOfTwoChoices {
+    /// Builds the router on its own derived stream.
+    pub fn new(rng: DetRng) -> Self {
+        PowerOfTwoChoices { rng }
+    }
+
+    /// Builds the router from a root seed (stream tag `0xD2C`).
+    pub fn from_seed(seed: u64) -> Self {
+        PowerOfTwoChoices::new(DetRng::new(seed).derive(0xD2C))
+    }
+}
+
+impl Router for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+
+    fn route(&mut self, _tenant: usize, hosts: &[HostLoad]) -> usize {
+        let n = hosts.len() as u64;
+        // Two draws are always consumed, even for a one-host fleet, so
+        // the stream position — and thus every later decision — depends
+        // only on how many requests were routed, not on fleet size.
+        let a = self.rng.range(0, n) as usize;
+        let b = self.rng.range(0, n) as usize;
+        let (lo, hi) = (a.min(b), a.max(b));
+        if (hosts[lo].pressure(), lo) <= (hosts[hi].pressure(), hi) {
+            lo
+        } else {
+            hi
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +211,53 @@ mod tests {
     fn single_host_pins_zero() {
         let hosts = vec![load(0, 9, 9), load(5, 0, 0)];
         assert_eq!(SingleHost.route(3, &hosts), 0);
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_in_its_seed() {
+        let hosts: Vec<HostLoad> = (0..8).map(|i| load(0, i % 3, i % 2)).collect();
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut r = PowerOfTwoChoices::from_seed(seed);
+            (0..64).map(|t| r.route(t, &hosts)).collect()
+        };
+        assert_eq!(picks(0xC1), picks(0xC1), "same seed, same stream");
+        assert_ne!(picks(0xC1), picks(0xC2), "different seeds diverge");
+    }
+
+    #[test]
+    fn power_of_two_prefers_the_lighter_probe() {
+        // Host 0 is drowning; every pair that includes any other host
+        // must avoid it, so host 0 wins only when both probes hit it.
+        let hosts = vec![load(0, 100, 100), load(0, 0, 0), load(0, 0, 0)];
+        let mut r = PowerOfTwoChoices::from_seed(7);
+        let n = 300;
+        let hot = (0..n).filter(|&t| r.route(t, &hosts) == 0).count();
+        // P(both probes = 0) = 1/9 ≈ 33 of 300; allow generous slack.
+        assert!(hot < n / 5, "overloaded host picked {hot}/{n} times");
+    }
+
+    #[test]
+    fn power_of_two_spreads_across_equal_hosts() {
+        let hosts = vec![load(0, 0, 0); 4];
+        let mut r = PowerOfTwoChoices::from_seed(9);
+        let mut counts = [0usize; 4];
+        for t in 0..400 {
+            counts[r.route(t, &hosts)] += 1;
+        }
+        // Ties break low, so the pick is min(a, b): host k is chosen
+        // with probability (2(4-k)-1)/16 — every host still gets a
+        // non-trivial share (host 3's is 1/16 ≈ 25).
+        assert!(
+            counts.iter().all(|&c| c > 8),
+            "every host sees traffic: {counts:?}"
+        );
+        assert!(counts[0] > counts[3], "low indices win ties: {counts:?}");
+    }
+
+    #[test]
+    fn power_of_two_handles_one_host() {
+        let hosts = vec![load(0, 3, 3)];
+        let mut r = PowerOfTwoChoices::from_seed(1);
+        assert_eq!(r.route(0, &hosts), 0);
     }
 }

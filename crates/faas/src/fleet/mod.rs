@@ -1,0 +1,1155 @@
+//! The fleet simulator: an elastic host set over the shared event
+//! engine.
+//!
+//! [`crate::ClusterSim`] (PR 3) runs N hosts, but N is frozen for the
+//! whole run — it is a *data plane*. [`FleetSim`] adds the control
+//! plane a real serverless fleet runs on top:
+//!
+//! * **Host lifecycle** — every host moves through
+//!   [`HostState::Booting`] → [`HostState::Active`] →
+//!   [`HostState::Draining`] → [`HostState::Retired`], or is forced to
+//!   [`HostState::Failed`] by injected crashes. Routers only ever see
+//!   Active hosts.
+//! * **Autoscaling** — an [`AutoscalePolicy`] ticks on a fixed control
+//!   period and decides to grow (boot new hosts from a template config,
+//!   ready after a provisioning delay) or shrink (gracefully drain).
+//!   The fleet clamps decisions to `[min_hosts, max_hosts]` and
+//!   enforces a cooldown, so policies only express intent.
+//! * **Graceful drains** — a draining host stops receiving requests but
+//!   keeps serving its queue and in-flight executions; its warm
+//!   instances expire through the ordinary keep-alive path, their
+//!   memory is reclaimed through the backend, and only when the host is
+//!   fully quiescent does it retire. Nothing is lost on a drain.
+//! * **Failure injection** — seeded crash times (see
+//!   [`FailureConfig`]) kill a host outright: its queued requests are
+//!   requeued to the surviving fleet (fresh arrival clocks, as a
+//!   client retry would), its in-flight executions are counted lost.
+//!
+//! Determinism is inherited from the cluster layer: one shared
+//! [`EventQueue`] with FIFO tie-breaks, pop-time routing, and every
+//! random choice (crash times, victims, power-of-two probes, reservoir
+//! replacement) on its own derived [`DetRng`] stream. With a fixed
+//! fleet ([`FixedFleet`]) and failures off, the event stream is
+//! *byte-identical* to [`crate::ClusterSim`]'s — the
+//! `fleet_equivalence` property test pins it over random traces.
+
+mod failure;
+mod policy;
+
+pub use failure::FailureConfig;
+pub use policy::{
+    default_slos, AutoscalePolicy, FixedFleet, FleetView, LatencyObs, QueueDepth, ScaleDecision,
+    SlamSlo, TargetUtilization,
+};
+
+use std::collections::BTreeMap;
+
+use sim_core::{DetRng, EventQueue, Histogram, Reservoir, SimDuration, SimTime, TimeSeries};
+use vmm::VmmError;
+use workloads::FunctionKind;
+
+use crate::cluster::{
+    ClusterConfig, HostLoad, Router, TenantTrace, LATENCY_RESERVOIR_CAP, RESERVOIR_STREAM,
+};
+use crate::config::SimConfig;
+use crate::metrics::SimResult;
+use crate::sim::events::{Event, EventSink};
+use crate::sim::host::HostSim;
+use failure::FailureInjector;
+
+/// Derivation tag of the failure injector's stream (from the fleet
+/// seed).
+const FAILURE_STREAM: u64 = 0xFA11;
+
+/// Derivation tag of booted-host config seeds (from the template
+/// seed).
+const BOOT_STREAM: u64 = 0xB007;
+
+/// How long an unroutable arrival waits before retrying while capacity
+/// is provisioning.
+const DEFER_RETRY_S: f64 = 1.0;
+
+/// Where a host is in its life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostState {
+    /// Provisioning: booted by the autoscaler, not yet routable.
+    Booting,
+    /// Serving traffic.
+    Active,
+    /// No longer routable; finishing queued/in-flight work and letting
+    /// warm instances expire before retiring.
+    Draining,
+    /// Drained to quiescence and removed from the fleet.
+    Retired,
+    /// Crashed by failure injection.
+    Failed,
+}
+
+/// Fleet-wide autoscaling limits, applied to every policy decision.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoscaleOpts {
+    /// The fleet never drains below this many provisioned hosts.
+    pub min_hosts: usize,
+    /// The fleet never grows above this many provisioned hosts.
+    pub max_hosts: usize,
+    /// Provisioning delay between the boot decision and the host
+    /// becoming routable, in seconds.
+    pub boot_delay_s: f64,
+    /// Minimum spacing between scale actions, in seconds.
+    pub cooldown_s: f64,
+}
+
+impl Default for AutoscaleOpts {
+    fn default() -> Self {
+        AutoscaleOpts {
+            min_hosts: 1,
+            max_hosts: 16,
+            boot_delay_s: 30.0,
+            cooldown_s: 20.0,
+        }
+    }
+}
+
+/// A fleet: the hosts present at time zero, a template for hosts the
+/// autoscaler boots later, the tenant traces, and the control-plane
+/// knobs.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Hosts active at the start of the run.
+    pub initial_hosts: Vec<SimConfig>,
+    /// Config cloned for every autoscaler-booted host; its jitter seed
+    /// is re-derived per host so no two hosts share a stream.
+    pub template: SimConfig,
+    /// The tenant traces routed across the fleet. Every host (initial
+    /// and template) must expose each tenant's `(vm, dep)` slot.
+    pub tenants: Vec<TenantTrace>,
+    /// Autoscaling limits.
+    pub autoscale: AutoscaleOpts,
+    /// Failure injection.
+    pub failures: FailureConfig,
+    /// Per-function latency targets in milliseconds (SLO accounting
+    /// and the SLAM-style policy).
+    pub slo: Vec<(FunctionKind, f64)>,
+    /// Root seed of the fleet's own streams (failures, reservoir).
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// Wraps a [`ClusterConfig`] into a frozen fleet: same hosts, same
+    /// tenants, autoscaling and failures off. With the same router and
+    /// the [`FixedFleet`] policy this reproduces
+    /// [`crate::ClusterSim`] byte-for-byte.
+    pub fn fixed(cluster: ClusterConfig, seed: u64) -> FleetConfig {
+        let template = cluster.hosts[0].clone();
+        let n = cluster.hosts.len();
+        let slo = default_slos(
+            template
+                .vms
+                .iter()
+                .flat_map(|v| v.deployments.iter().map(|d| d.kind)),
+        );
+        FleetConfig {
+            initial_hosts: cluster.hosts,
+            template,
+            tenants: cluster.tenants,
+            autoscale: AutoscaleOpts {
+                min_hosts: n,
+                max_hosts: n,
+                ..AutoscaleOpts::default()
+            },
+            failures: FailureConfig::off(),
+            slo,
+            seed,
+        }
+    }
+
+    /// Instance slots per host (Σ deployment concurrency of the
+    /// template) — the autoscaler's capacity unit.
+    pub fn slots_per_host(&self) -> usize {
+        self.template
+            .vms
+            .iter()
+            .flat_map(|v| &v.deployments)
+            .map(|d| d.concurrency as usize)
+            .sum()
+    }
+}
+
+/// Events of the shared fleet engine.
+enum FleetEvent {
+    /// A tenant request arrives and must be routed.
+    Incoming { tenant: usize },
+    /// A host-internal event.
+    Host { host: usize, ev: Event },
+    /// Autoscaler control tick.
+    Control,
+    /// A booting host finishes provisioning.
+    HostReady { host: usize },
+    /// The next injected crash fires.
+    Crash,
+}
+
+/// Adapter tagging one host's scheduled events into the shared queue.
+struct HostSink<'a> {
+    q: &'a mut EventQueue<FleetEvent>,
+    host: usize,
+}
+
+impl EventSink for HostSink<'_> {
+    fn push(&mut self, at: SimTime, ev: Event) {
+        self.q.push(
+            at,
+            FleetEvent::Host {
+                host: self.host,
+                ev,
+            },
+        );
+    }
+}
+
+/// One host's slot in the fleet.
+struct Slot {
+    sim: HostSim,
+    state: HostState,
+    boot_at: SimTime,
+    stop_at: Option<SimTime>,
+}
+
+impl Slot {
+    /// Still processes its own events (Booting hosts have none yet).
+    fn is_live(&self) -> bool {
+        matches!(
+            self.state,
+            HostState::Booting | HostState::Active | HostState::Draining
+        )
+    }
+}
+
+/// One host's contribution to the fleet outcome.
+pub struct HostOutcome {
+    /// The host's simulation results.
+    pub result: SimResult,
+    /// Lifecycle state at the end of the run.
+    pub final_state: HostState,
+    /// When the host started provisioning, in seconds.
+    pub boot_s: f64,
+    /// When it retired/failed — or the end of the run if it never did.
+    pub stop_s: f64,
+}
+
+/// Everything a fleet run produces.
+pub struct FleetResult {
+    /// Every host that ever existed, in boot order.
+    pub hosts: Vec<HostOutcome>,
+    /// Requests routed to `[host][tenant]`.
+    pub routed: Vec<Vec<u64>>,
+    /// Total requests completed across the fleet.
+    pub completed: u64,
+    /// Hosts booted by the autoscaler.
+    pub scale_ups: u64,
+    /// Hosts gracefully drained by the autoscaler.
+    pub scale_downs: u64,
+    /// Hosts killed by failure injection.
+    pub crashes: u64,
+    /// Queued requests re-routed off crashed hosts.
+    pub requeued: u64,
+    /// In-flight executions lost to crashes (plus arrivals dropped
+    /// when no host could ever serve them).
+    pub lost: u64,
+    /// Deferral retries: how many times an arrival found no routable
+    /// host and parked for a retry interval while capacity was
+    /// provisioning (one request can defer repeatedly).
+    pub deferred: u64,
+    /// Completions that breached their function's SLO target.
+    pub slo_violations: u64,
+    /// Completions with an SLO target (the violation denominator).
+    pub slo_total: u64,
+    /// Bounded uniform sample of `(arrival_s, latency_ms)` across the
+    /// fleet (see [`LATENCY_RESERVOIR_CAP`]).
+    pub latency_over_time: Reservoir,
+    /// Active (routable) host count over time.
+    pub active_hosts_over_time: TimeSeries,
+    /// Simulated end time.
+    pub end: SimTime,
+}
+
+impl FleetResult {
+    /// Integrated provisioned-host time in host-hours — the fleet cost
+    /// metric ("Squeezy needs fewer hosts for the same SLO").
+    pub fn host_hours(&self) -> f64 {
+        self.hosts
+            .iter()
+            .map(|h| (h.stop_s - h.boot_s).max(0.0))
+            .sum::<f64>()
+            / 3600.0
+    }
+
+    /// Largest number of simultaneously active hosts.
+    pub fn peak_active(&self) -> usize {
+        self.active_hosts_over_time.max_value() as usize
+    }
+
+    /// Smallest number of simultaneously active hosts.
+    pub fn min_active(&self) -> usize {
+        self.active_hosts_over_time
+            .points()
+            .iter()
+            .map(|&(_, v)| v as usize)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of SLO-tracked completions that breached their target.
+    pub fn slo_violation_rate(&self) -> f64 {
+        self.slo_violations as f64 / self.slo_total.max(1) as f64
+    }
+
+    /// Fleet-wide request-latency histograms, merged per function.
+    pub fn merged_latency(&self) -> BTreeMap<FunctionKind, Histogram> {
+        let mut merged: BTreeMap<FunctionKind, Histogram> = BTreeMap::new();
+        for host in &self.hosts {
+            for (&kind, m) in &host.result.per_func {
+                merged.entry(kind).or_default().merge(&m.latency);
+            }
+        }
+        merged
+    }
+
+    /// Fleet-wide cold and warm start counts.
+    pub fn cold_warm_starts(&self) -> (u64, u64) {
+        self.hosts
+            .iter()
+            .flat_map(|h| h.result.per_func.values())
+            .fold((0, 0), |(c, w), m| (c + m.cold_starts, w + m.warm_starts))
+    }
+
+    /// Integrated host memory footprint across the fleet (GiB·s).
+    pub fn total_gib_seconds(&self) -> f64 {
+        self.hosts.iter().map(|h| h.result.gib_seconds()).sum()
+    }
+}
+
+/// The elastic multi-host fleet simulator.
+pub struct FleetSim {
+    duration_s: f64,
+    template: SimConfig,
+    tenants: Vec<TenantTrace>,
+    /// `(vm, dep)` deployment slot → tenant index (crash requeueing).
+    tenant_of_slot: BTreeMap<(usize, usize), usize>,
+    router: Box<dyn Router>,
+    policy: Box<dyn AutoscalePolicy>,
+    opts: AutoscaleOpts,
+    slo: Vec<(FunctionKind, f64)>,
+    slots_per_host: usize,
+    hosts: Vec<Slot>,
+    events: EventQueue<FleetEvent>,
+    routed: Vec<Vec<u64>>,
+    injector: FailureInjector,
+    /// Completions since the last control tick (policy window);
+    /// only fed when the control loop is on.
+    recent_window: Vec<LatencyObs>,
+    last_action_at: Option<SimTime>,
+    latency_over_time: Reservoir,
+    active_hosts_over_time: TimeSeries,
+    scale_ups: u64,
+    scale_downs: u64,
+    crashes: u64,
+    requeued: u64,
+    lost: u64,
+    deferred: u64,
+    slo_violations: u64,
+    slo_total: u64,
+}
+
+impl FleetSim {
+    /// Boots the initial hosts and schedules the tenant traces, the
+    /// control loop (if the policy has one) and the crash plan.
+    ///
+    /// Construction order matches [`crate::ClusterSim`] exactly —
+    /// arrivals in tenant order, then one sample chain per host — so a
+    /// fixed fleet's event queue is byte-identical to the cluster's.
+    pub fn new(
+        config: FleetConfig,
+        router: Box<dyn Router>,
+        policy: Box<dyn AutoscalePolicy>,
+    ) -> Result<FleetSim, VmmError> {
+        assert!(
+            !config.initial_hosts.is_empty(),
+            "a fleet needs at least one initial host"
+        );
+        assert!(config.autoscale.min_hosts >= 1, "min_hosts must be ≥ 1");
+        assert!(
+            config.autoscale.max_hosts >= config.autoscale.min_hosts,
+            "max_hosts must be ≥ min_hosts"
+        );
+        let duration_s = config.initial_hosts[0].duration_s;
+        let slots_per_host = config.slots_per_host().max(1);
+        let reservoir_rng = DetRng::new(config.seed).derive(RESERVOIR_STREAM);
+        let mut injector = FailureInjector::new(DetRng::new(config.seed).derive(FAILURE_STREAM));
+
+        let mut hosts = Vec::new();
+        for cfg in config.initial_hosts {
+            let mut sim = HostSim::new(cfg)?;
+            sim.enable_latency_tap();
+            hosts.push(Slot {
+                sim,
+                state: HostState::Active,
+                boot_at: SimTime::ZERO,
+                stop_at: None,
+            });
+        }
+
+        let mut events = EventQueue::new();
+        for (ti, t) in config.tenants.iter().enumerate() {
+            for &a in t.arrivals.iter().filter(|&&a| a < duration_s) {
+                events.push(
+                    SimTime::ZERO + SimDuration::from_secs_f64(a),
+                    FleetEvent::Incoming { tenant: ti },
+                );
+            }
+        }
+        for host in 0..hosts.len() {
+            events.push(
+                SimTime::ZERO,
+                FleetEvent::Host {
+                    host,
+                    ev: Event::Sample,
+                },
+            );
+        }
+        if let Some(period) = policy.period_s() {
+            assert!(period > 0.0, "control period must be positive");
+            if period <= duration_s {
+                events.push(
+                    SimTime::ZERO + SimDuration::from_secs_f64(period),
+                    FleetEvent::Control,
+                );
+            }
+        }
+        for t in injector.sample_times(&config.failures, duration_s) {
+            events.push(
+                SimTime::ZERO + SimDuration::from_secs_f64(t),
+                FleetEvent::Crash,
+            );
+        }
+
+        let tenant_of_slot = config
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| ((t.vm, t.dep), ti))
+            .collect();
+        let routed = vec![vec![0; config.tenants.len()]; hosts.len()];
+        let mut active_hosts_over_time = TimeSeries::new();
+        active_hosts_over_time.push(SimTime::ZERO, hosts.len() as f64);
+        Ok(FleetSim {
+            duration_s,
+            template: config.template,
+            tenants: config.tenants,
+            tenant_of_slot,
+            router,
+            policy,
+            opts: config.autoscale,
+            slo: config.slo,
+            slots_per_host,
+            hosts,
+            events,
+            routed,
+            injector,
+            recent_window: Vec::new(),
+            last_action_at: None,
+            latency_over_time: Reservoir::new(LATENCY_RESERVOIR_CAP, reservoir_rng),
+            active_hosts_over_time,
+            scale_ups: 0,
+            scale_downs: 0,
+            crashes: 0,
+            requeued: 0,
+            lost: 0,
+            deferred: 0,
+            slo_violations: 0,
+            slo_total: 0,
+        })
+    }
+
+    /// Runs the fleet to completion.
+    pub fn run(mut self) -> FleetResult {
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                FleetEvent::Incoming { tenant } => self.on_incoming(now, tenant),
+                FleetEvent::Host { host, ev } => {
+                    // Retired and failed hosts are gone: their residual
+                    // events (keep-alives, sample chains) evaporate.
+                    if !self.hosts[host].is_live() {
+                        continue;
+                    }
+                    let mut sink = HostSink {
+                        q: &mut self.events,
+                        host,
+                    };
+                    self.hosts[host].sim.handle(now, ev, &mut sink);
+                    self.drain_tap(host);
+                    self.maybe_retire(now, host);
+                }
+                FleetEvent::Control => self.on_control(now),
+                FleetEvent::HostReady { host } => self.on_host_ready(now, host),
+                FleetEvent::Crash => self.on_crash(now),
+            }
+        }
+        let end = SimTime::ZERO + SimDuration::from_secs_f64(self.duration_s);
+        let hosts: Vec<HostOutcome> = self
+            .hosts
+            .into_iter()
+            .map(|slot| HostOutcome {
+                final_state: slot.state,
+                boot_s: slot.boot_at.as_secs_f64(),
+                stop_s: slot
+                    .stop_at
+                    .map(|t| t.as_secs_f64())
+                    .unwrap_or(self.duration_s),
+                result: slot.sim.finish(),
+            })
+            .collect();
+        let completed = hosts.iter().map(|h| h.result.completed).sum();
+        FleetResult {
+            hosts,
+            routed: self.routed,
+            completed,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            crashes: self.crashes,
+            requeued: self.requeued,
+            lost: self.lost,
+            deferred: self.deferred,
+            slo_violations: self.slo_violations,
+            slo_total: self.slo_total,
+            latency_over_time: self.latency_over_time,
+            active_hosts_over_time: self.active_hosts_over_time,
+            end,
+        }
+    }
+
+    // --- Data plane --------------------------------------------------------
+
+    fn on_incoming(&mut self, now: SimTime, tenant: usize) {
+        let t = &self.tenants[tenant];
+        let eligible: Vec<usize> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == HostState::Active)
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            // No routable host. If capacity is provisioning — or the
+            // control loop is still alive to provision some — park the
+            // request briefly; otherwise it is genuinely unservable.
+            let provisioning = self.hosts.iter().any(|s| s.state == HostState::Booting);
+            let loop_alive =
+                self.policy.period_s().is_some() && now.as_secs_f64() < self.duration_s;
+            if provisioning || loop_alive {
+                self.deferred += 1;
+                self.events.push(
+                    now + SimDuration::from_secs_f64(DEFER_RETRY_S),
+                    FleetEvent::Incoming { tenant },
+                );
+            } else {
+                self.lost += 1;
+            }
+            return;
+        }
+        let loads: Vec<HostLoad> = eligible
+            .iter()
+            .map(|&i| self.hosts[i].sim.load_snapshot(t.vm, t.dep))
+            .collect();
+        let r = self.router.route(tenant, &loads);
+        assert!(
+            r < eligible.len(),
+            "router returned host {r} of {}",
+            eligible.len()
+        );
+        let h = eligible[r];
+        self.routed[h][tenant] += 1;
+        let (vm, dep) = (t.vm, t.dep);
+        let mut sink = HostSink {
+            q: &mut self.events,
+            host: h,
+        };
+        self.hosts[h]
+            .sim
+            .handle(now, Event::Arrival { vm, dep }, &mut sink);
+        self.drain_tap(h);
+    }
+
+    /// Moves the host's freshly recorded completions into the fleet's
+    /// reservoir, SLO counters and (when the control loop is on) the
+    /// policy's latency window.
+    fn drain_tap(&mut self, host: usize) {
+        let window_on = self.policy.period_s().is_some();
+        for (kind, arrival_s, latency_ms) in self.hosts[host].sim.drain_recent_latencies() {
+            self.latency_over_time.offer(arrival_s, latency_ms);
+            if let Some(&(_, target)) = self.slo.iter().find(|(k, _)| *k == kind) {
+                self.slo_total += 1;
+                if latency_ms > target {
+                    self.slo_violations += 1;
+                }
+            }
+            if window_on {
+                self.recent_window.push((kind, latency_ms));
+            }
+        }
+    }
+
+    // --- Control plane -----------------------------------------------------
+
+    fn on_control(&mut self, now: SimTime) {
+        // Self-healing comes before policy: crashes can sink the fleet
+        // below its floor (even to zero hosts, where no load-driven
+        // policy gets a signal to act on), so the control loop boots
+        // replacements up to `min_hosts` outside the policy and its
+        // cooldown. A fixed fleet has no control loop and therefore no
+        // healing — its crash losses are permanent by design.
+        let provisioned = self.count(HostState::Active) + self.count(HostState::Booting);
+        if provisioned < self.opts.min_hosts {
+            self.boot_hosts(now, self.opts.min_hosts - provisioned);
+        }
+        let active_loads: Vec<HostLoad> = self
+            .hosts
+            .iter()
+            .filter(|s| s.state == HostState::Active)
+            .map(|s| s.sim.total_load())
+            .collect();
+        let booting = self.count(HostState::Booting);
+        let draining = self.count(HostState::Draining);
+        let view = FleetView {
+            now_s: now.as_secs_f64(),
+            active: &active_loads,
+            booting,
+            draining,
+            slots_per_host: self.slots_per_host,
+            recent: &self.recent_window,
+            slo: &self.slo,
+        };
+        let decision = self.policy.decide(&view);
+        self.recent_window.clear();
+
+        let in_cooldown = self
+            .last_action_at
+            .is_some_and(|t| now.since(t).as_secs_f64() < self.opts.cooldown_s);
+        if !in_cooldown {
+            match decision {
+                ScaleDecision::Hold => {}
+                ScaleDecision::Up(n) => self.scale_up(now, n),
+                ScaleDecision::Down(n) => self.scale_down(now, n),
+            }
+        }
+
+        if let Some(period) = self.policy.period_s() {
+            let next = now + SimDuration::from_secs_f64(period);
+            if next.as_secs_f64() <= self.duration_s {
+                self.events.push(next, FleetEvent::Control);
+            }
+        }
+    }
+
+    fn count(&self, state: HostState) -> usize {
+        self.hosts.iter().filter(|s| s.state == state).count()
+    }
+
+    fn scale_up(&mut self, now: SimTime, n: u32) {
+        let provisioned = self.count(HostState::Active) + self.count(HostState::Booting);
+        let room = self.opts.max_hosts.saturating_sub(provisioned);
+        let n = (n as usize).min(room);
+        if n > 0 {
+            self.boot_hosts(now, n);
+            self.last_action_at = Some(now);
+        }
+    }
+
+    /// Boots `n` hosts from the template (provisioning delay applies).
+    /// Used by both policy scale-ups and min-floor self-healing;
+    /// cooldown bookkeeping stays with the caller.
+    fn boot_hosts(&mut self, now: SimTime, n: usize) {
+        for _ in 0..n {
+            // Each booted host re-derives its jitter seed from the
+            // template by global host ordinal: deterministic, and no
+            // two hosts ever share a stream.
+            let ordinal = self.hosts.len() as u64;
+            let mut cfg = self.template.clone();
+            cfg.seed = DetRng::new(self.template.seed)
+                .derive(BOOT_STREAM)
+                .derive(ordinal)
+                .seed();
+            let mut sim = HostSim::new(cfg).expect("fleet template host boots");
+            sim.enable_latency_tap();
+            self.hosts.push(Slot {
+                sim,
+                state: HostState::Booting,
+                boot_at: now,
+                stop_at: None,
+            });
+            self.routed.push(vec![0; self.tenants.len()]);
+            let host = self.hosts.len() - 1;
+            self.events.push(
+                now + SimDuration::from_secs_f64(self.opts.boot_delay_s),
+                FleetEvent::HostReady { host },
+            );
+            self.scale_ups += 1;
+        }
+    }
+
+    fn scale_down(&mut self, now: SimTime, n: u32) {
+        let provisioned = self.count(HostState::Active) + self.count(HostState::Booting);
+        let allowed = provisioned.saturating_sub(self.opts.min_hosts);
+        let n = (n as usize).min(allowed).min(self.count(HostState::Active));
+        if n == 0 {
+            return;
+        }
+        // Drain the least-pressured hosts: they quiesce fastest and
+        // carry the least warm state worth keeping.
+        let mut candidates: Vec<(usize, usize)> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == HostState::Active)
+            .map(|(i, s)| (s.sim.total_load().pressure(), i))
+            .collect();
+        candidates.sort_unstable();
+        for &(_, host) in candidates.iter().take(n) {
+            self.hosts[host].state = HostState::Draining;
+            self.scale_downs += 1;
+            self.maybe_retire(now, host);
+        }
+        self.last_action_at = Some(now);
+        self.push_active_count(now);
+    }
+
+    fn on_host_ready(&mut self, now: SimTime, host: usize) {
+        if self.hosts[host].state != HostState::Booting {
+            return;
+        }
+        self.hosts[host].state = HostState::Active;
+        // Start the host's metrics sample chain.
+        let mut sink = HostSink {
+            q: &mut self.events,
+            host,
+        };
+        sink.push(now, Event::Sample);
+        self.push_active_count(now);
+    }
+
+    /// Retires a draining host once it has nothing left to do.
+    fn maybe_retire(&mut self, now: SimTime, host: usize) {
+        let slot = &mut self.hosts[host];
+        if slot.state == HostState::Draining && slot.sim.is_quiescent() {
+            slot.state = HostState::Retired;
+            slot.stop_at = Some(now);
+        }
+    }
+
+    // --- Failure plane -----------------------------------------------------
+
+    fn on_crash(&mut self, now: SimTime) {
+        // Any serving host can die — draining ones included.
+        let candidates: Vec<usize> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.state, HostState::Active | HostState::Draining))
+            .map(|(i, _)| i)
+            .collect();
+        let Some(victim) = self.injector.pick_victim(&candidates) else {
+            return;
+        };
+        // Flush completions that happened before the crash.
+        self.drain_tap(victim);
+        let slot = &mut self.hosts[victim];
+        slot.state = HostState::Failed;
+        slot.stop_at = Some(now);
+        self.crashes += 1;
+        // In-flight executions die with the host.
+        self.lost += slot.sim.busy_instances() as u64;
+        // Queued requests are re-routed to the survivors, as a client
+        // retry would: their latency clocks restart at the crash.
+        for (vm, dep) in slot.sim.drain_queued_requests() {
+            let tenant = *self
+                .tenant_of_slot
+                .get(&(vm, dep))
+                .expect("queued request belongs to a tenant");
+            self.requeued += 1;
+            self.events.push(now, FleetEvent::Incoming { tenant });
+        }
+        self.push_active_count(now);
+    }
+
+    // --- Accounting --------------------------------------------------------
+
+    fn push_active_count(&mut self, now: SimTime) {
+        let active = self.count(HostState::Active);
+        self.active_hosts_over_time.push(now, active as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{LeastLoaded, RoundRobin};
+    use crate::config::{BackendKind, Deployment, HarvestConfig, VmSpec};
+
+    fn host_cfg(tenants: usize, seed: u64, duration_s: f64) -> SimConfig {
+        SimConfig {
+            backend: BackendKind::Squeezy,
+            harvest: HarvestConfig::default(),
+            vms: vec![VmSpec {
+                deployments: (0..tenants)
+                    .map(|_| Deployment {
+                        kind: FunctionKind::Html,
+                        concurrency: 2,
+                        arrivals: Vec::new(),
+                    })
+                    .collect(),
+                vcpus: Some(2.0),
+            }],
+            host_capacity: u64::MAX / 2,
+            keepalive_s: 15.0,
+            duration_s,
+            sample_period_s: 1.0,
+            unplug_deadline_ms: 5_000,
+            record_latency_points: false,
+            seed,
+            trial: 0,
+        }
+    }
+
+    fn fleet_cfg(
+        initial: usize,
+        tenants: Vec<TenantTrace>,
+        duration_s: f64,
+        opts: AutoscaleOpts,
+    ) -> FleetConfig {
+        let template = host_cfg(tenants.len(), 0xF0, duration_s);
+        FleetConfig {
+            initial_hosts: (0..initial)
+                .map(|h| host_cfg(tenants.len(), 1 + h as u64, duration_s))
+                .collect(),
+            template,
+            tenants,
+            autoscale: opts,
+            failures: FailureConfig::off(),
+            slo: default_slos([FunctionKind::Html]),
+            seed: 0xF1EE7,
+        }
+    }
+
+    fn burst_tenants(n_arrivals: usize, start: f64, gap: f64) -> Vec<TenantTrace> {
+        vec![TenantTrace {
+            vm: 0,
+            dep: 0,
+            arrivals: (0..n_arrivals).map(|i| start + i as f64 * gap).collect(),
+        }]
+    }
+
+    /// Scale-down test policy: drains one host at a fixed tick.
+    struct DrainOnce {
+        ticks: u32,
+        at: u32,
+    }
+
+    impl AutoscalePolicy for DrainOnce {
+        fn name(&self) -> &'static str {
+            "drain-once"
+        }
+
+        fn period_s(&self) -> Option<f64> {
+            Some(5.0)
+        }
+
+        fn decide(&mut self, _view: &FleetView) -> ScaleDecision {
+            self.ticks += 1;
+            if self.ticks == self.at {
+                ScaleDecision::Down(1)
+            } else {
+                ScaleDecision::Hold
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_fleet_serves_everything_and_never_scales() {
+        let tenants = burst_tenants(8, 1.0, 0.2);
+        let cfg = fleet_cfg(
+            2,
+            tenants,
+            80.0,
+            AutoscaleOpts {
+                min_hosts: 2,
+                max_hosts: 2,
+                ..AutoscaleOpts::default()
+            },
+        );
+        let r = FleetSim::new(cfg, Box::new(RoundRobin::default()), Box::new(FixedFleet))
+            .expect("boot")
+            .run();
+        assert_eq!(r.completed, 8);
+        assert_eq!(r.scale_ups + r.scale_downs + r.crashes, 0);
+        assert_eq!(r.lost + r.deferred, 0);
+        assert_eq!(r.peak_active(), 2);
+        assert_eq!(r.min_active(), 2);
+        assert!(r.hosts.iter().all(|h| h.final_state == HostState::Active));
+        assert_eq!(
+            r.latency_over_time.seen(),
+            8,
+            "reservoir sees every completion"
+        );
+        assert!(r.slo_total == 8, "every completion is SLO-tracked");
+    }
+
+    #[test]
+    fn autoscaler_grows_under_backlog_and_boot_delay_gates_readiness() {
+        // One host, 30 near-simultaneous arrivals at concurrency 2: the
+        // queue-depth policy must boot more hosts; they become routable
+        // only after the provisioning delay.
+        let tenants = burst_tenants(30, 1.0, 0.05);
+        let cfg = fleet_cfg(
+            1,
+            tenants,
+            240.0,
+            AutoscaleOpts {
+                min_hosts: 1,
+                max_hosts: 4,
+                boot_delay_s: 10.0,
+                cooldown_s: 6.0,
+            },
+        );
+        let r = FleetSim::new(
+            cfg,
+            Box::new(LeastLoaded),
+            Box::new(QueueDepth::default_policy()),
+        )
+        .expect("boot")
+        .run();
+        assert!(
+            r.scale_ups >= 1,
+            "backlog triggered growth: {}",
+            r.scale_ups
+        );
+        assert!(r.peak_active() >= 2, "peak {}", r.peak_active());
+        assert_eq!(r.completed, 30, "every request eventually served");
+        assert_eq!(r.lost, 0);
+        // Booted hosts were not routable before the delay: the first
+        // activation can be no earlier than boot_delay after t=0.
+        let first_boot = r
+            .hosts
+            .iter()
+            .skip(1)
+            .map(|h| h.boot_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            first_boot >= 5.0,
+            "first boot decision at a tick: {first_boot}"
+        );
+    }
+
+    #[test]
+    fn autoscaler_shrinks_an_idle_fleet_to_the_floor() {
+        // Load only in the first seconds of a long run: queue-depth
+        // sheds idle hosts down to min_hosts, gracefully.
+        let tenants = burst_tenants(6, 1.0, 0.1);
+        let cfg = fleet_cfg(
+            3,
+            tenants,
+            200.0,
+            AutoscaleOpts {
+                min_hosts: 1,
+                max_hosts: 3,
+                boot_delay_s: 10.0,
+                cooldown_s: 5.0,
+            },
+        );
+        let r = FleetSim::new(
+            cfg,
+            Box::new(RoundRobin::default()),
+            Box::new(QueueDepth::default_policy()),
+        )
+        .expect("boot")
+        .run();
+        assert_eq!(r.completed, 6, "drains lose nothing");
+        assert!(
+            r.scale_downs >= 2,
+            "idle fleet shed hosts: {}",
+            r.scale_downs
+        );
+        assert_eq!(r.min_active(), 1, "never below the floor");
+        let retired = r
+            .hosts
+            .iter()
+            .filter(|h| h.final_state == HostState::Retired)
+            .count();
+        assert_eq!(retired, 2, "drained hosts reached Retired");
+        assert!(
+            r.host_hours() < 3.0 * 200.0 / 3600.0 - 1e-9,
+            "retiring early saves host-hours: {}",
+            r.host_hours()
+        );
+    }
+
+    #[test]
+    fn graceful_drain_finishes_inflight_work_before_retiring() {
+        // Drain fires at the first tick (t=5) while the burst from t=4
+        // is still queued/executing on both hosts: the draining host
+        // must finish its share, then expire its warm instances
+        // (keepalive 15 s) before retiring.
+        let tenants = burst_tenants(8, 4.0, 0.05);
+        let cfg = fleet_cfg(
+            2,
+            tenants,
+            120.0,
+            AutoscaleOpts {
+                min_hosts: 1,
+                max_hosts: 2,
+                boot_delay_s: 10.0,
+                cooldown_s: 1.0,
+            },
+        );
+        let r = FleetSim::new(
+            cfg,
+            Box::new(RoundRobin::default()),
+            Box::new(DrainOnce { ticks: 0, at: 1 }),
+        )
+        .expect("boot")
+        .run();
+        assert_eq!(r.completed, 8, "no request dropped by the drain");
+        assert_eq!(r.scale_downs, 1);
+        let drained: Vec<&HostOutcome> = r
+            .hosts
+            .iter()
+            .filter(|h| h.final_state == HostState::Retired)
+            .collect();
+        assert_eq!(drained.len(), 1);
+        // Retirement waits for the keepalive window (instances warm
+        // until ~ last_use + 15 s), so it lands well after the drain
+        // decision at t=5 — and the host completed work after t=5.
+        assert!(
+            drained[0].stop_s > 15.0,
+            "retired at {:.1}s only after quiescence",
+            drained[0].stop_s
+        );
+        assert!(drained[0].result.completed > 0, "served before retiring");
+    }
+
+    #[test]
+    fn crashes_requeue_queued_work_to_survivors() {
+        // Two hosts, a long arrival train, and a forced crash window:
+        // the victim's queued requests must re-route to the survivor.
+        let tenants = burst_tenants(40, 1.0, 0.5);
+        let mut cfg = fleet_cfg(
+            2,
+            tenants,
+            120.0,
+            AutoscaleOpts {
+                min_hosts: 2,
+                max_hosts: 2,
+                ..AutoscaleOpts::default()
+            },
+        );
+        cfg.failures = FailureConfig { mtbf_s: 40.0 };
+        let run = || {
+            FleetSim::new(
+                cfg.clone(),
+                Box::new(RoundRobin::default()),
+                Box::new(FixedFleet),
+            )
+            .expect("boot")
+            .run()
+        };
+        let r = run();
+        assert!(r.crashes >= 1, "at least one injected crash");
+        let failed = r
+            .hosts
+            .iter()
+            .filter(|h| h.final_state == HostState::Failed)
+            .count();
+        assert_eq!(failed as u64, r.crashes);
+        // Conservation: every arrival completed, died in-flight, or
+        // (if every host crashed) was dropped as unservable.
+        assert!(r.completed + r.lost <= 40 + r.requeued);
+        assert!(r.completed > 0, "survivors keep serving");
+        for h in r
+            .hosts
+            .iter()
+            .filter(|h| h.final_state == HostState::Failed)
+        {
+            assert!(h.stop_s < 120.0, "crash recorded mid-run");
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let tenants = burst_tenants(20, 1.0, 0.3);
+        let mk = || {
+            let mut cfg = fleet_cfg(
+                2,
+                tenants.clone(),
+                150.0,
+                AutoscaleOpts {
+                    min_hosts: 1,
+                    max_hosts: 4,
+                    boot_delay_s: 8.0,
+                    cooldown_s: 5.0,
+                },
+            );
+            cfg.failures = FailureConfig { mtbf_s: 60.0 };
+            FleetSim::new(
+                cfg,
+                Box::new(LeastLoaded),
+                Box::new(TargetUtilization::default_policy()),
+            )
+            .expect("boot")
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.routed, b.routed);
+        assert_eq!(
+            (a.scale_ups, a.scale_downs, a.crashes, a.requeued, a.lost),
+            (b.scale_ups, b.scale_downs, b.crashes, b.requeued, b.lost)
+        );
+        assert_eq!(a.slo_violations, b.slo_violations);
+        assert_eq!(
+            a.latency_over_time.sorted_points(),
+            b.latency_over_time.sorted_points()
+        );
+        let da: Vec<u64> = a.hosts.iter().map(|h| h.result.digest()).collect();
+        let db: Vec<u64> = b.hosts.iter().map(|h| h.result.digest()).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn slam_policy_scales_on_slo_pressure() {
+        // A sustained train at ~4 rps against one 2-slot host: queueing
+        // pushes p99 over the SLO and the SLAM policy must grow the
+        // fleet.
+        let tenants = burst_tenants(200, 1.0, 0.25);
+        let cfg = fleet_cfg(
+            1,
+            tenants,
+            180.0,
+            AutoscaleOpts {
+                min_hosts: 1,
+                max_hosts: 5,
+                boot_delay_s: 8.0,
+                cooldown_s: 5.0,
+            },
+        );
+        let r = FleetSim::new(
+            cfg,
+            Box::new(LeastLoaded),
+            Box::new(SlamSlo::default_policy()),
+        )
+        .expect("boot")
+        .run();
+        assert!(r.scale_ups >= 1, "SLO pressure grew the fleet");
+        assert!(r.slo_total > 0);
+        assert_eq!(r.completed, 200);
+    }
+}

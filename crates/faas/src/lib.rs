@@ -1,6 +1,6 @@
 //! An OpenWhisk-style FaaS runtime model over dynamically resized VMs.
 //!
-//! Reproduces the paper's deployment (§4.2, §5) in three explicit
+//! Reproduces the paper's deployment (§4.2, §5) in four explicit
 //! layers:
 //!
 //! * **Backend layer** ([`backend`], internal): the pluggable
@@ -15,8 +15,15 @@
 //!   single host, the paper's deployment.
 //! * **Cluster layer** ([`cluster`]): [`ClusterSim`] runs N hosts under
 //!   one event engine with a pluggable [`Router`] (round-robin,
-//!   least-loaded, warm-affinity); with one host and the
-//!   [`cluster::SingleHost`] router it reproduces [`FaasSim`]
+//!   least-loaded, warm-affinity, power-of-two-choices); with one host
+//!   and the [`cluster::SingleHost`] router it reproduces [`FaasSim`]
+//!   byte-for-byte.
+//! * **Fleet layer** ([`fleet`]): [`FleetSim`] puts a control plane
+//!   over the cluster data plane — host lifecycle
+//!   (Booting → Active → Draining → Retired, plus injected Failed),
+//!   pluggable [`AutoscalePolicy`]s (target-utilization, queue-depth,
+//!   SLAM-style SLO-aware), graceful drains and seeded failure
+//!   injection. With a fixed fleet it reproduces [`ClusterSim`]
 //!   byte-for-byte.
 //!
 //! Also provides the 1:1 microVM cold-start model for the Figure-11
@@ -25,16 +32,22 @@
 pub(crate) mod backend;
 pub mod cluster;
 pub mod config;
+pub mod fleet;
 pub mod hybrid;
 pub mod metrics;
 pub mod microvm;
 pub mod sim;
 
 pub use cluster::{
-    ClusterConfig, ClusterResult, ClusterSim, HostLoad, LeastLoaded, RoundRobin, Router,
-    SingleHost, TenantTrace, WarmAffinity,
+    ClusterConfig, ClusterResult, ClusterSim, HostLoad, LeastLoaded, PowerOfTwoChoices, RoundRobin,
+    Router, SingleHost, TenantTrace, WarmAffinity, LATENCY_RESERVOIR_CAP,
 };
 pub use config::{BackendKind, Deployment, HarvestConfig, SimConfig, VmSpec};
+pub use fleet::{
+    default_slos, AutoscaleOpts, AutoscalePolicy, FailureConfig, FixedFleet, FleetConfig,
+    FleetResult, FleetSim, FleetView, HostOutcome, HostState, LatencyObs, QueueDepth,
+    ScaleDecision, SlamSlo, TargetUtilization,
+};
 pub use hybrid::{absorb_burst, BurstOutcome, ScaleStrategy};
 pub use metrics::{FuncMetrics, ReclaimTotals, SimResult};
 pub use microvm::{microvm_cold_start, n_to_one_cold_start, ColdStartBreakdown};

@@ -19,6 +19,7 @@ use vmm::{HostMemory, Vm, VmConfig, VmmError};
 use workloads::FunctionKind;
 
 use crate::backend::{self, ElasticityBackend, PlugStart, RebuildStart, ReclaimStart};
+use crate::cluster::HostLoad;
 use crate::config::SimConfig;
 use crate::metrics::{FuncMetrics, ReclaimTotals, SimResult};
 use crate::sim::events::{Event, EventSink, Work};
@@ -84,6 +85,10 @@ pub(crate) struct HostSim {
     next_token: u64,
     completed: u64,
     rng: DetRng,
+    /// When set, completed requests are also appended to
+    /// `recent_latencies` for the cluster/fleet drivers to drain.
+    latency_tap: bool,
+    recent_latencies: Vec<(FunctionKind, f64, f64)>,
 }
 
 impl HostSim {
@@ -170,6 +175,8 @@ impl HostSim {
             next_token: 0,
             completed: 0,
             rng,
+            latency_tap: false,
+            recent_latencies: Vec::new(),
         })
     }
 
@@ -232,42 +239,107 @@ impl HostSim {
         }
     }
 
-    // --- Router views ------------------------------------------------------
+    // --- Router / autoscaler views ----------------------------------------
 
-    /// Idle warm instances of `(vm, dep)` (warm-affinity routing).
-    pub fn warm_idle_of(&self, vm: usize, dep: usize) -> usize {
-        self.vms[vm]
-            .instances
-            .values()
-            .filter(|i| i.dep == dep && i.state == InstState::Warm)
-            .count()
+    /// The single [`HostLoad`] constructor: one deterministic snapshot
+    /// of this host, taken for the arriving tenant's `(vm, dep)` slot.
+    /// Routers (via the cluster/fleet drivers) and the fleet autoscaler
+    /// (via [`Self::total_load`]) both read host load through here, so
+    /// the two control planes can never disagree on what "load" means.
+    pub fn load_snapshot(&self, vm: usize, dep: usize) -> HostLoad {
+        self.snapshot_impl(Some((vm, dep)))
     }
 
-    /// Live instances of `(vm, dep)`.
-    pub fn alive_of(&self, vm: usize, dep: usize) -> usize {
-        self.vms[vm].alive_of(dep)
+    /// Whole-host load snapshot: the deployment-specific fields
+    /// (`warm_idle`, `alive`) are summed across every deployment — the
+    /// autoscaler's view, which cares about total warm capacity rather
+    /// than any one tenant's.
+    pub fn total_load(&self) -> HostLoad {
+        self.snapshot_impl(None)
     }
 
-    /// Total queued requests across the host's deployments.
-    pub fn queued_requests(&self) -> usize {
-        self.vms
-            .iter()
-            .map(|v| v.queues.iter().map(VecDeque::len).sum::<usize>())
-            .sum()
+    fn snapshot_impl(&self, slot: Option<(usize, usize)>) -> HostLoad {
+        let dep_matches = |vi: usize, dep: usize| match slot {
+            Some((sv, sd)) => vi == sv && dep == sd,
+            None => true,
+        };
+        let mut warm_idle = 0;
+        let mut alive = 0;
+        let mut queued = 0;
+        let mut active = 0;
+        for (vi, v) in self.vms.iter().enumerate() {
+            queued += v.queues.iter().map(VecDeque::len).sum::<usize>();
+            for i in v.instances.values() {
+                if matches!(i.state, InstState::Busy | InstState::Starting) {
+                    active += 1;
+                }
+                if dep_matches(vi, i.dep) {
+                    alive += 1;
+                    if i.state == InstState::Warm {
+                        warm_idle += 1;
+                    }
+                }
+            }
+        }
+        HostLoad {
+            warm_idle,
+            alive,
+            queued,
+            active,
+            free_bytes: self.host.free_bytes(),
+        }
     }
 
-    /// Busy or starting instances across the host.
-    pub fn active_instances(&self) -> usize {
+    // --- Fleet lifecycle hooks --------------------------------------------
+
+    /// Turns on the latency tap: every completed request is also pushed
+    /// to a drainable buffer. The cluster/fleet drivers enable this to
+    /// feed bounded reservoirs and SLO accounting; the buffer is not
+    /// part of [`SimResult`], so tapping never perturbs digests.
+    pub fn enable_latency_tap(&mut self) {
+        self.latency_tap = true;
+    }
+
+    /// Drains `(kind, arrival_s, latency_ms)` completions recorded
+    /// since the last drain.
+    pub fn drain_recent_latencies(&mut self) -> Vec<(FunctionKind, f64, f64)> {
+        std::mem::take(&mut self.recent_latencies)
+    }
+
+    /// `true` when the host holds no queued requests, no instances, no
+    /// CPU work and no in-flight reclaims — a draining host in this
+    /// state can retire without losing anything.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending_reclaims.is_empty()
+            && self.vms.iter().all(|v| {
+                v.instances.is_empty()
+                    && v.work.is_empty()
+                    && v.queues.iter().all(VecDeque::is_empty)
+            })
+    }
+
+    /// Empties every request queue, returning one `(vm, dep)` entry per
+    /// queued request in deterministic (vm, dep, FIFO) order. Crash
+    /// handling: the fleet re-routes these to surviving hosts.
+    pub fn drain_queued_requests(&mut self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (vi, v) in self.vms.iter_mut().enumerate() {
+            for (di, q) in v.queues.iter_mut().enumerate() {
+                out.extend(std::iter::repeat_n((vi, di), q.len()));
+                q.clear();
+            }
+        }
+        out
+    }
+
+    /// Requests currently executing (one per busy instance) — the work
+    /// a host crash genuinely loses.
+    pub fn busy_instances(&self) -> usize {
         self.vms
             .iter()
             .flat_map(|v| v.instances.values())
-            .filter(|i| matches!(i.state, InstState::Busy | InstState::Starting))
+            .filter(|i| i.state == InstState::Busy)
             .count()
-    }
-
-    /// Free host memory (bytes).
-    pub fn free_bytes(&self) -> u64 {
-        self.host.free_bytes()
     }
 
     // --- Event handlers ---------------------------------------------------
@@ -752,6 +824,10 @@ impl HostSim {
         self.mark_idle(vm, inst);
         let kind = self.dep_kind(vm, dep);
         let latency_ms = now.since(arrival).as_millis_f64();
+        if self.latency_tap {
+            self.recent_latencies
+                .push((kind, arrival.as_secs_f64(), latency_ms));
+        }
         let record_points = self.config.record_latency_points;
         let m = self.metrics(kind);
         m.latency.record(latency_ms);

@@ -1,0 +1,151 @@
+//! Property: a fleet with a fixed host count, autoscaling off and no
+//! failure injection is *byte-identical* to the cluster simulator —
+//! for every router, over randomized multi-host configs, tenant
+//! traces, seeds and trials.
+//!
+//! This mirrors the PR 3 `cluster ≡ faas` property one layer up: the
+//! fleet's control plane (lifecycle states, eligibility filtering,
+//! control ticks, crash plans, latency taps) must add *zero*
+//! behavioral drift when it has nothing to do. Any stray event, extra
+//! RNG draw or reordered push would shift the shared queue's FIFO
+//! tie-breaks and change a digest.
+
+use faas::{
+    BackendKind, ClusterConfig, ClusterSim, Deployment, FixedFleet, FleetConfig, FleetSim,
+    HarvestConfig, LeastLoaded, PowerOfTwoChoices, RoundRobin, Router, SimConfig, TenantTrace,
+    VmSpec, WarmAffinity,
+};
+use mem_types::GIB;
+use sim_core::DetRng;
+use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
+
+fn random_host(rng: &mut DetRng, tenants: usize, duration_s: f64) -> SimConfig {
+    let backends = [
+        BackendKind::Static,
+        BackendKind::VirtioMem,
+        BackendKind::HarvestOpts,
+        BackendKind::Squeezy,
+        BackendKind::SqueezySoft,
+    ];
+    let kinds = [FunctionKind::Html, FunctionKind::Cnn, FunctionKind::Bfs];
+    SimConfig {
+        backend: backends[rng.range(0, backends.len() as u64) as usize],
+        harvest: HarvestConfig::default(),
+        vms: vec![VmSpec {
+            deployments: (0..tenants)
+                .map(|d| Deployment {
+                    kind: kinds[d % kinds.len()],
+                    concurrency: 2 + rng.range(0, 3) as u32,
+                    arrivals: Vec::new(),
+                })
+                .collect(),
+            vcpus: Some(2.0),
+        }],
+        host_capacity: if rng.chance(0.5) {
+            4 * GIB
+        } else {
+            u64::MAX / 2
+        },
+        keepalive_s: rng.range_f64(10.0, 40.0),
+        duration_s,
+        sample_period_s: 1.0,
+        unplug_deadline_ms: 5_000,
+        record_latency_points: rng.chance(0.5),
+        seed: rng.range(0, 1 << 32),
+        trial: rng.range(0, 8),
+    }
+}
+
+fn random_cluster(rng: &mut DetRng) -> ClusterConfig {
+    let duration_s = 100.0;
+    let nhosts = 1 + rng.range(0, 3) as usize;
+    let ntenants = 1 + rng.range(0, 3) as usize;
+    let hosts = (0..nhosts)
+        .map(|_| random_host(rng, ntenants, duration_s))
+        .collect();
+    let tenants = (0..ntenants)
+        .map(|d| {
+            let trace = BurstyTraceConfig {
+                duration_s,
+                base_rps: rng.range_f64(0.05, 0.3),
+                burst_rps: rng.range_f64(1.0, 4.0),
+                mean_burst_s: 10.0,
+                mean_idle_s: 30.0,
+            };
+            let mut trng = rng.derive(d as u64 + 1);
+            TenantTrace {
+                vm: 0,
+                dep: d,
+                arrivals: bursty_arrivals(&trace, &mut trng),
+            }
+        })
+        .collect();
+    ClusterConfig { hosts, tenants }
+}
+
+/// Builds the same router twice (routers are stateful, so each side
+/// needs a fresh instance on an identical stream).
+fn router_pair(rng: &mut DetRng) -> (Box<dyn Router>, Box<dyn Router>, &'static str) {
+    match rng.range(0, 4) {
+        0 => (
+            Box::new(RoundRobin::default()),
+            Box::new(RoundRobin::default()),
+            "round-robin",
+        ),
+        1 => (Box::new(LeastLoaded), Box::new(LeastLoaded), "least-loaded"),
+        2 => (
+            Box::new(WarmAffinity),
+            Box::new(WarmAffinity),
+            "warm-affinity",
+        ),
+        _ => {
+            let seed = rng.range(0, 1 << 32);
+            (
+                Box::new(PowerOfTwoChoices::from_seed(seed)),
+                Box::new(PowerOfTwoChoices::from_seed(seed)),
+                "power-of-two",
+            )
+        }
+    }
+}
+
+#[test]
+fn fixed_fleet_is_byte_identical_to_cluster_sim() {
+    let mut rng = DetRng::new(0xF1EE7E57);
+    for case in 0..10 {
+        let cluster_cfg = random_cluster(&mut rng);
+        let (router_a, router_b, router_name) = router_pair(&mut rng);
+        let fleet_seed = rng.range(0, 1 << 32);
+
+        let cluster = ClusterSim::new(cluster_cfg.clone(), router_a)
+            .expect("cluster boots")
+            .run();
+        let fleet = FleetSim::new(
+            FleetConfig::fixed(cluster_cfg, fleet_seed),
+            router_b,
+            Box::new(FixedFleet),
+        )
+        .expect("fleet boots")
+        .run();
+
+        assert_eq!(
+            fleet.hosts.len(),
+            cluster.hosts.len(),
+            "case {case} ({router_name}): host count"
+        );
+        for (h, (fh, ch)) in fleet.hosts.iter().zip(&cluster.hosts).enumerate() {
+            assert_eq!(
+                fh.result.digest(),
+                ch.digest(),
+                "case {case} ({router_name}): host {h} diverged from ClusterSim"
+            );
+        }
+        assert_eq!(fleet.completed, cluster.completed, "case {case}");
+        assert_eq!(fleet.routed, cluster.routed, "case {case}: routing drifted");
+        assert_eq!(
+            fleet.scale_ups + fleet.scale_downs + fleet.crashes + fleet.lost + fleet.deferred,
+            0,
+            "case {case}: a fixed fleet takes no control action"
+        );
+    }
+}

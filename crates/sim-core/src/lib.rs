@@ -36,6 +36,6 @@ pub use cost::{CostModel, LatencyBreakdown};
 pub use cpu::{CpuPool, TaskId};
 pub use events::EventQueue;
 pub use experiment::{run_experiment, run_reduced, ExpOpts, Experiment, Summary, TrialCtx};
-pub use metrics::{BusyRecorder, Histogram, TimeSeries};
+pub use metrics::{BusyRecorder, Histogram, Reservoir, TimeSeries};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

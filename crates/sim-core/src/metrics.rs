@@ -1,5 +1,7 @@
-//! Measurement utilities: histograms, time series, busy-interval windows.
+//! Measurement utilities: histograms, time series, busy-interval
+//! windows, bounded reservoirs.
 
+use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 
 /// A sample histogram with exact quantiles.
@@ -200,6 +202,106 @@ impl TimeSeries {
             t = next;
         }
         out
+    }
+}
+
+/// A bounded uniform sample of `(time_s, value)` points.
+///
+/// Long cluster/fleet runs complete millions of requests; recording one
+/// time-resolved latency point per request (as the single-host Figure-9
+/// plots do via `record_latency_points`) would grow without bound. The
+/// reservoir keeps a fixed-capacity uniform sample instead: after `n`
+/// offers each point survives with probability `cap / n` (Vitter's
+/// Algorithm R), so downstream windowed statistics stay unbiased while
+/// memory stays O(cap).
+///
+/// Determinism: replacement decisions come from the [`DetRng`] stream
+/// the reservoir is built with, so the same offer sequence always keeps
+/// the same sample — reservoirs in simulation results stay
+/// byte-identical across runs and `--jobs` values.
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    points: Vec<(f64, f64)>,
+    rng: DetRng,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir holding at most `cap` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize, rng: DetRng) -> Self {
+        assert!(cap > 0, "a reservoir needs capacity");
+        Reservoir {
+            cap,
+            seen: 0,
+            points: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Offers one `(time_s, value)` point; it is kept with probability
+    /// `cap / seen`.
+    pub fn offer(&mut self, t: f64, v: f64) {
+        self.seen += 1;
+        if self.points.len() < self.cap {
+            self.points.push((t, v));
+        } else {
+            let j = self.rng.range(0, self.seen);
+            if (j as usize) < self.cap {
+                self.points[j as usize] = (t, v);
+            }
+        }
+    }
+
+    /// Maximum number of retained points.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total points offered so far (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of currently retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The retained points, in no particular order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The retained points sorted by time.
+    pub fn sorted_points(&self) -> Vec<(f64, f64)> {
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite points"));
+        pts
+    }
+
+    /// Mean value of retained points with `from_s <= t < to_s`, or
+    /// `None` when the window holds no points.
+    pub fn mean_in(&self, from_s: f64, to_s: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= from_s && *t < to_s)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(mean(&vals))
+        }
     }
 }
 
@@ -415,6 +517,62 @@ mod tests {
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
         assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(16, DetRng::new(1));
+        for i in 0..10 {
+            r.offer(i as f64, (i * 2) as f64);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 10);
+        assert_eq!(r.sorted_points()[3], (3.0, 6.0));
+        assert_eq!(r.mean_in(0.0, 2.0), Some(1.0), "mean of 0 and 2");
+        assert_eq!(r.mean_in(50.0, 60.0), None);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_roughly_uniform() {
+        let cap = 200;
+        let n = 20_000u64;
+        let mut r = Reservoir::new(cap, DetRng::new(7));
+        for i in 0..n {
+            r.offer(i as f64, 1.0);
+        }
+        assert_eq!(r.len(), cap);
+        assert_eq!(r.seen(), n);
+        // A uniform sample puts about half the survivors in each half
+        // of the stream; a sampler biased to early or late offers would
+        // concentrate far outside this band.
+        let early = r
+            .points()
+            .iter()
+            .filter(|(t, _)| *t < n as f64 / 2.0)
+            .count();
+        assert!(
+            (60..=140).contains(&early),
+            "early-half survivors {early} of {cap}"
+        );
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_in_its_stream() {
+        let run = |seed| {
+            let mut r = Reservoir::new(32, DetRng::new(seed));
+            for i in 0..1000 {
+                r.offer(i as f64, (i % 17) as f64);
+            }
+            r.sorted_points()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different streams keep different samples");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn reservoir_rejects_zero_capacity() {
+        let _ = Reservoir::new(0, DetRng::new(1));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! function types cycled over the Table-1 mix so every run exercises
 //! heterogeneous footprints.
 
+use sim_core::rng::Zipf;
 use sim_core::DetRng;
 
 use crate::functions::FunctionKind;
@@ -62,6 +63,124 @@ pub fn multi_tenant_workload(cfg: &MultiTenantConfig, rng: &mut DetRng) -> Vec<T
         .collect()
 }
 
+/// Parameters of a diurnal multi-tenant workload.
+///
+/// The fleet autoscaler only earns its keep against load that actually
+/// moves: the Azure production traces show a pronounced day/night cycle
+/// on top of per-function bursts. This generator modulates the total
+/// request rate sinusoidally between `trough_rps` and `peak_rps` over
+/// `period_s` (one "day", compressed to simulation scale), splits it
+/// across tenants by Zipf popularity rank, and overlays short bursts so
+/// scale-up decisions see both slow tides and fast spikes.
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalConfig {
+    /// Number of tenant functions (rank 0 is the hottest).
+    pub tenants: usize,
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Total request rate at the trough of the cycle.
+    pub trough_rps: f64,
+    /// Total request rate at the peak of the cycle.
+    pub peak_rps: f64,
+    /// Length of one full trough→peak→trough cycle in seconds.
+    pub period_s: f64,
+    /// Zipf popularity exponent across tenants.
+    pub zipf_exponent: f64,
+    /// Multiplier applied to the instantaneous rate during bursts
+    /// (1.0 disables bursts).
+    pub burst_factor: f64,
+    /// Fraction of time spent bursting (mean burst 10 s).
+    pub burst_duty: f64,
+}
+
+/// The total fleet-wide rate (requests/second) at time `t` — the
+/// sinusoid the generator thins against, exposed so experiments can
+/// plot offered load against scaling decisions.
+pub fn diurnal_rate(cfg: &DiurnalConfig, t: f64) -> f64 {
+    let mid = (cfg.peak_rps + cfg.trough_rps) / 2.0;
+    let amp = (cfg.peak_rps - cfg.trough_rps) / 2.0;
+    // Starts at the trough so short runs still see a rising edge.
+    mid - amp * (2.0 * core::f64::consts::PI * t / cfg.period_s).cos()
+}
+
+/// Synthesizes the diurnal tenant mix: one trace per Zipf-ranked
+/// tenant, deterministic in `rng`.
+///
+/// Each tenant's arrivals are a non-homogeneous Poisson process,
+/// sampled by thinning against the tenant's share of the peak rate,
+/// with on/off bursts multiplying the instantaneous rate by
+/// `burst_factor`. Tenant function kinds cycle over the Table-1 mix by
+/// rank, like [`multi_tenant_workload`].
+///
+/// # Panics
+///
+/// Panics if `cfg.tenants == 0`, rates are not positive,
+/// `peak_rps < trough_rps`, `burst_factor < 1`, or `burst_duty` is
+/// outside `[0, 1)`.
+pub fn diurnal_workload(cfg: &DiurnalConfig, rng: &mut DetRng) -> Vec<TenantLoad> {
+    assert!(cfg.tenants > 0, "a fleet workload needs tenants");
+    assert!(
+        cfg.trough_rps > 0.0 && cfg.peak_rps >= cfg.trough_rps,
+        "need 0 < trough_rps <= peak_rps"
+    );
+    assert!(cfg.burst_factor >= 1.0, "bursts only add load");
+    assert!(
+        (0.0..1.0).contains(&cfg.burst_duty),
+        "burst_duty must be in [0, 1): a full-duty \"burst\" is just a \
+         higher base rate (fold it into trough/peak_rps instead)"
+    );
+    let zipf = Zipf::new(cfg.tenants, cfg.zipf_exponent);
+    (0..cfg.tenants)
+        .map(|rank| {
+            let share = zipf.pmf(rank);
+            let mut trng = rng.derive(rank as u64 + 1);
+            // Envelope for thinning: the tenant's peak rate with the
+            // burst multiplier always applied.
+            let lambda_max = share * cfg.peak_rps * cfg.burst_factor;
+            let mut arrivals = Vec::new();
+            let mut t = 0.0;
+            // On/off burst phases, like `bursty_arrivals`: mean burst
+            // 10 s, mean gap sized to hit `burst_duty`.
+            let mean_burst_s = 10.0;
+            let mean_idle_s = if cfg.burst_duty > 0.0 && cfg.burst_duty < 1.0 {
+                mean_burst_s * (1.0 - cfg.burst_duty) / cfg.burst_duty
+            } else {
+                f64::INFINITY
+            };
+            let mut bursting = false;
+            let mut phase_end = if mean_idle_s.is_finite() {
+                trng.exp(1.0 / mean_idle_s)
+            } else {
+                cfg.duration_s
+            };
+            while t < cfg.duration_s {
+                t += trng.exp(lambda_max);
+                while t >= phase_end && phase_end < cfg.duration_s {
+                    bursting = !bursting;
+                    let mean_len = if bursting { mean_burst_s } else { mean_idle_s };
+                    phase_end = if mean_len.is_finite() {
+                        phase_end + trng.exp(1.0 / mean_len)
+                    } else {
+                        cfg.duration_s
+                    };
+                }
+                if t >= cfg.duration_s {
+                    break;
+                }
+                let burst = if bursting { cfg.burst_factor } else { 1.0 };
+                let lambda_t = share * diurnal_rate(cfg, t) * burst;
+                if trng.unit() < lambda_t / lambda_max {
+                    arrivals.push(t);
+                }
+            }
+            TenantLoad {
+                kind: FunctionKind::ALL[rank % FunctionKind::ALL.len()],
+                arrivals,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +218,91 @@ mod tests {
         for (ta, tb) in a.iter().zip(&b) {
             assert_eq!(ta.arrivals, tb.arrivals);
         }
+    }
+
+    fn dcfg() -> DiurnalConfig {
+        DiurnalConfig {
+            tenants: 6,
+            duration_s: 1200.0,
+            trough_rps: 2.0,
+            peak_rps: 20.0,
+            period_s: 1200.0,
+            zipf_exponent: 1.0,
+            burst_factor: 3.0,
+            burst_duty: 0.1,
+        }
+    }
+
+    #[test]
+    fn diurnal_rate_cycles_between_trough_and_peak() {
+        let c = dcfg();
+        assert!(
+            (diurnal_rate(&c, 0.0) - 2.0).abs() < 1e-9,
+            "starts at trough"
+        );
+        assert!(
+            (diurnal_rate(&c, 600.0) - 20.0).abs() < 1e-9,
+            "peaks mid-cycle"
+        );
+        assert!(
+            (diurnal_rate(&c, 1200.0) - 2.0).abs() < 1e-9,
+            "returns to trough"
+        );
+    }
+
+    #[test]
+    fn diurnal_load_swells_toward_the_peak() {
+        let tenants = diurnal_workload(&dcfg(), &mut DetRng::new(3));
+        assert_eq!(tenants.len(), 6);
+        let count_in = |lo: f64, hi: f64| -> usize {
+            tenants
+                .iter()
+                .flat_map(|t| &t.arrivals)
+                .filter(|&&a| a >= lo && a < hi)
+                .count()
+        };
+        let trough = count_in(0.0, 200.0) + count_in(1000.0, 1200.0);
+        let peak = count_in(400.0, 800.0);
+        assert!(
+            peak as f64 > 2.0 * trough as f64,
+            "peak window {peak} ≫ trough windows {trough}"
+        );
+        for t in &tenants {
+            assert!(t.arrivals.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        }
+    }
+
+    #[test]
+    fn diurnal_popularity_is_heavy_tailed_and_deterministic() {
+        let a = diurnal_workload(&dcfg(), &mut DetRng::new(4));
+        let b = diurnal_workload(&dcfg(), &mut DetRng::new(4));
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.arrivals, tb.arrivals);
+        }
+        assert!(
+            a[0].arrivals.len() > 3 * a[5].arrivals.len(),
+            "rank 0 ({}) dominates rank 5 ({})",
+            a[0].arrivals.len(),
+            a[5].arrivals.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_volume_matches_the_envelope() {
+        // Expected volume = mean rate × duration; thinning should land
+        // in the vicinity (bursts add burst_duty × (factor-1) × mean).
+        let c = DiurnalConfig {
+            burst_factor: 1.0,
+            burst_duty: 0.0,
+            ..dcfg()
+        };
+        let tenants = diurnal_workload(&c, &mut DetRng::new(5));
+        let total: usize = tenants.iter().map(|t| t.arrivals.len()).sum();
+        let expected = (c.trough_rps + c.peak_rps) / 2.0 * c.duration_s;
+        let ratio = total as f64 / expected;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "total {total} vs expected {expected}"
+        );
     }
 }

@@ -16,7 +16,10 @@ pub mod memhog;
 pub mod trace;
 
 pub use churn::{analyze_churn, ChurnResult, MinuteChurn};
-pub use cluster::{multi_tenant_workload, MultiTenantConfig, TenantLoad};
+pub use cluster::{
+    diurnal_rate, diurnal_workload, multi_tenant_workload, DiurnalConfig, MultiTenantConfig,
+    TenantLoad,
+};
 pub use functions::{FunctionKind, FunctionProfile};
 pub use memhog::Memhog;
 pub use trace::{bursty_arrivals, zipf_function_traces, BurstyTraceConfig};
