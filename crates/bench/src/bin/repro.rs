@@ -1,29 +1,66 @@
-//! Regenerates every table and figure of the paper as text output.
+//! Regenerates every table and figure of the paper as text output, and
+//! runs declarative scenario specs.
 //!
 //! Usage:
 //!
 //! ```text
 //! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid|cluster|fleet]
 //!       [--quick] [--jobs N] [--trials N] [--json <path>]
+//! repro run <spec.scn>... [--quick] [--jobs N] [--trials N] [--json <path>]
+//! repro scenarios
 //! ```
 //!
-//! * `--jobs N` — shard each figure's experiment grid over `N` worker
-//!   threads (default: all cores). Output is byte-identical for every
-//!   value of `N`; only wall time changes.
+//! * `repro run` — execute scenario spec files (`faas::Scenario`
+//!   format; see `examples/scenarios/`) with one report section per
+//!   spec. Specs are parsed and validated up front: a bad file fails
+//!   before anything runs.
+//! * `repro scenarios` — list the scenario registry (workloads,
+//!   topologies, backends, routers, policies, spec keys).
+//! * `--jobs N` — shard each experiment grid over `N` worker threads
+//!   (default: all cores). Output is byte-identical for every value of
+//!   `N`; only wall time changes.
 //! * `--trials N` — repeat stochastic experiments `N` times on derived
 //!   RNG streams and report trial means (default: 1).
 //! * `--json <path>` — additionally write a machine-readable summary
 //!   (per-section wall time + output digest) for bench-trajectory
-//!   tracking.
+//!   tracking and `--jobs` byte-identity checks.
 
 use std::time::Instant;
 
+use faas::Scenario;
 use sim_core::experiment::{run_experiment, Experiment, TrialCtx};
-use sim_core::ExpOpts;
+use sim_core::{fnv1a, ExpOpts};
 use squeezy_bench as bench;
+
+/// Every target the CLI accepts, in help order. Unknown targets are
+/// rejected at parse time against this list.
+const TARGETS: [&str; 20] = [
+    "all",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "thp",
+    "soft",
+    "fpr",
+    "temporal",
+    "hybrid",
+    "cluster",
+    "fleet",
+    "run",
+    "scenarios",
+];
 
 struct Args {
     what: String,
+    /// Spec files following the `run` target.
+    files: Vec<String>,
     quick: bool,
     opts: ExpOpts,
     json: Option<String>,
@@ -31,6 +68,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut what: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
     let mut quick = false;
     let mut opts = ExpOpts::auto();
     let mut json = None;
@@ -53,16 +91,30 @@ fn parse_args() -> Args {
                 json = Some(it.next().unwrap_or_else(|| die("--json needs a path")));
             }
             flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
-            target => match &what {
+            positional => match &what {
+                // Extra positionals are spec files — but only the
+                // `run` target takes them.
+                Some(first) if first == "run" => files.push(positional.to_string()),
                 Some(first) => die(&format!(
-                    "multiple targets ({first:?} and {target:?}); pass one"
+                    "multiple targets ({first:?} and {positional:?}); pass one"
                 )),
-                None => what = Some(target.to_string()),
+                None if TARGETS.contains(&positional) => what = Some(positional.to_string()),
+                // A typo'd target dies here, at parse time, with the
+                // full valid list — not after the run completes.
+                None => die(&format!(
+                    "unknown target {positional:?} (valid targets: {})",
+                    TARGETS.join(", ")
+                )),
             },
         }
     }
+    let what = what.unwrap_or_else(|| "all".to_string());
+    if what == "run" && files.is_empty() {
+        die("run needs at least one scenario spec file (see `repro scenarios`)");
+    }
     Args {
-        what: what.unwrap_or_else(|| "all".to_string()),
+        what,
+        files,
         quick,
         opts,
         json,
@@ -74,24 +126,15 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// One rendered section and its cost.
+/// One rendered section and its cost. The `fnv1a` digest over the
+/// rendered text makes `--jobs` byte-identity checkable from the JSON
+/// alone.
 struct Section {
-    name: &'static str,
+    name: String,
     wall_s: f64,
     bytes: usize,
     digest: u64,
     text: String,
-}
-
-/// FNV-1a over the rendered text: a cheap stable digest that makes
-/// `--jobs` byte-identity checkable from the JSON alone.
-fn fnv1a(s: &str) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for b in s.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100_0000_01B3);
-    }
-    h
 }
 
 /// A renderable section of the report.
@@ -103,7 +146,7 @@ type Renderer = Box<dyn Fn() -> String + Sync>;
 /// blocks the machine) while the ordered reduction prints them in
 /// canonical order.
 struct Report {
-    sections: Vec<(&'static str, Renderer)>,
+    sections: Vec<(String, Renderer)>,
 }
 
 impl Experiment for Report {
@@ -122,7 +165,7 @@ impl Experiment for Report {
         // buffered and byte-identical in canonical order.
         eprintln!("[repro] {name} done in {:.1}s", t.elapsed().as_secs_f64());
         Section {
-            name,
+            name: name.clone(),
             wall_s: t.elapsed().as_secs_f64(),
             digest: fnv1a(&text),
             bytes: text.len(),
@@ -131,8 +174,26 @@ impl Experiment for Report {
     }
 }
 
+/// Loads, optionally quick-scales, and validates every spec file; any
+/// bad file dies before the first simulation starts.
+fn load_scenarios(files: &[String], quick: bool) -> Vec<(String, Scenario)> {
+    files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+            let spec = Scenario::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            (path.clone(), if quick { spec.quick() } else { spec })
+        })
+        .collect()
+}
+
 fn main() {
     let args = parse_args();
+    if args.what == "scenarios" {
+        print!("{}", faas::scenario::registry_help());
+        return;
+    }
     let all = args.what == "all";
     let quick = args.quick;
     let opts = args.opts;
@@ -140,11 +201,24 @@ fn main() {
     let mut report = Report {
         sections: Vec::new(),
     };
-    let mut add = |name: &'static str, enabled: bool, render: Renderer| {
+    let mut add = |name: &str, enabled: bool, render: Renderer| {
         if enabled {
-            report.sections.push((name, render));
+            report.sections.push((name.to_string(), render));
         }
     };
+
+    for (path, spec) in load_scenarios(&args.files, quick) {
+        let spec_opts = opts;
+        add(
+            &path,
+            true,
+            Box::new(move || {
+                spec.run(&spec_opts)
+                    .expect("spec validated at load time")
+                    .render()
+            }),
+        );
+    }
 
     add(
         "Table 1",
@@ -323,8 +397,11 @@ fn main() {
         }),
     );
 
+    // Parse-time target validation means every valid invocation has
+    // sections; this is a belt-and-braces guard for new targets wired
+    // into TARGETS but not into the section list.
     if report.sections.is_empty() {
-        die(&format!("unknown target {:?}", args.what));
+        die(&format!("target {:?} produced no sections", args.what));
     }
 
     let t0 = Instant::now();
@@ -356,8 +433,24 @@ fn main() {
     }
 }
 
+/// Minimal JSON string escaping: section names are figure titles or
+/// user-supplied spec paths, so quotes, backslashes and control bytes
+/// must not corrupt the summary.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Serializes the run summary (no external crates: the schema is flat
-/// and every string is a known-safe identifier).
+/// and the only free-form strings — section names — are escaped).
 fn to_json(sections: &[Section], total_s: f64, quick: bool, opts: &ExpOpts) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"suite\": \"squeezy-repro\",\n");
@@ -369,7 +462,7 @@ fn to_json(sections: &[Section], total_s: f64, quick: bool, opts: &ExpOpts) -> S
     for (i, sec) in sections.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"bytes\": {}, \"fnv1a\": \"{:016x}\"}}{}\n",
-            sec.name,
+            json_escape(&sec.name),
             sec.wall_s,
             sec.bytes,
             sec.digest,

@@ -4,58 +4,22 @@
 //! This goes beyond the paper (which evaluates one OpenWhisk host): the
 //! memory/latency trades of §6.2 are made at the *fleet* level, where
 //! the router decides which host pays each cold start and which host's
-//! backend must find the memory. The grid crosses the three routing
-//! policies with three elasticity backends under identical tenant
-//! traces (paired comparison), reporting cluster-wide latency
-//! percentiles, cold-start share, memory footprint and routing balance.
+//! backend must find the memory. The grid crosses the routing policies
+//! with three elasticity backends under identical tenant traces (paired
+//! comparison), reporting cluster-wide latency percentiles, cold-start
+//! share, memory footprint and routing balance.
+//!
+//! Since the scenario API landed, this module is just a *grid* over
+//! [`Scenario`] cells: each `(router, backend)` point is one
+//! declarative spec run through [`Scenario::run_trial`] — no hand-wired
+//! `SimConfig`/`ClusterConfig` glue left.
 
-use faas::{
-    BackendKind, ClusterConfig, ClusterSim, Deployment, HarvestConfig, LeastLoaded,
-    PowerOfTwoChoices, RoundRobin, Router, SimConfig, TenantTrace, VmSpec, WarmAffinity,
-};
+use faas::{BackendKind, RouterKind, Scenario, Topology};
 use mem_types::GIB;
 use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
-use sim_core::{DetRng, Histogram};
-use workloads::{multi_tenant_workload, MultiTenantConfig, TenantLoad};
+use workloads::WorkloadKind;
 
 use crate::table::TextTable;
-
-/// Routing policies under test (construction recipe: `Box<dyn Router>`
-/// is stateful and built fresh per cell).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum RouterKind {
-    RoundRobin,
-    LeastLoaded,
-    WarmAffinity,
-    PowerOfTwo,
-}
-
-impl RouterKind {
-    /// All policies, in table order.
-    pub const ALL: [RouterKind; 4] = [
-        RouterKind::RoundRobin,
-        RouterKind::LeastLoaded,
-        RouterKind::WarmAffinity,
-        RouterKind::PowerOfTwo,
-    ];
-
-    /// Display name used in the table (the router's own name, so the
-    /// labels cannot drift from the policy implementations).
-    pub fn name(self) -> &'static str {
-        self.build(0).name()
-    }
-
-    /// Builds a fresh router instance. Randomized policies derive their
-    /// probe stream from `seed`; the deterministic ones ignore it.
-    pub fn build(self, seed: u64) -> Box<dyn Router> {
-        match self {
-            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
-            RouterKind::LeastLoaded => Box::new(LeastLoaded),
-            RouterKind::WarmAffinity => Box::new(WarmAffinity),
-            RouterKind::PowerOfTwo => Box::new(PowerOfTwoChoices::from_seed(seed)),
-        }
-    }
-}
 
 /// Experiment scale.
 #[derive(Clone, Debug)]
@@ -110,7 +74,36 @@ impl ClusterBenchConfig {
             seed: 0xC1,
         }
     }
+
+    /// The declarative scenario one `(router)` column of the grid
+    /// runs; the backend axis is supplied per cell at run time.
+    pub fn scenario(&self, router: RouterKind) -> Scenario {
+        let mut s = Scenario::new(
+            "cluster-grid",
+            Topology::Cluster(self.hosts),
+            WorkloadKind::ZipfCluster,
+        );
+        s.params.tenants = self.tenants;
+        s.params.duration_s = self.duration_s;
+        s.params.rps = self.total_rps;
+        s.params.zipf_exponent = self.zipf_exponent;
+        s.host_capacity = self.host_capacity;
+        s.concurrency = self.concurrency;
+        s.keepalive_s = self.keepalive_s;
+        s.router = router;
+        s.seed = self.seed;
+        s
+    }
 }
+
+/// The routers the grid sweeps (every registry policy except the
+/// degenerate single-host passthrough).
+pub const GRID_ROUTERS: [RouterKind; 4] = [
+    RouterKind::RoundRobin,
+    RouterKind::LeastLoaded,
+    RouterKind::WarmAffinity,
+    RouterKind::PowerOfTwo,
+];
 
 /// One cell of the routing × backend grid (trial means).
 #[derive(Clone, Debug)]
@@ -140,37 +133,6 @@ struct ClusterExp<'a> {
     trials: u32,
 }
 
-impl ClusterExp<'_> {
-    fn host_config(&self, tenants: &[TenantLoad], host: usize, trial: u64) -> SimConfig {
-        let cfg = self.cfg;
-        SimConfig {
-            backend: BackendKind::Squeezy, // overwritten per point
-            harvest: HarvestConfig::default(),
-            vms: vec![VmSpec {
-                deployments: tenants
-                    .iter()
-                    .map(|t| Deployment {
-                        kind: t.kind,
-                        concurrency: cfg.concurrency,
-                        arrivals: Vec::new(), // the cluster routes the traces
-                    })
-                    .collect(),
-                vcpus: None,
-            }],
-            host_capacity: cfg.host_capacity,
-            keepalive_s: cfg.keepalive_s,
-            duration_s: cfg.duration_s,
-            sample_period_s: 1.0,
-            unplug_deadline_ms: 5_000,
-            // Fleet-scale runs keep memory bounded: no per-request
-            // points, only the aggregate histograms.
-            record_latency_points: false,
-            seed: DetRng::new(cfg.seed).derive(0x40 + host as u64).seed(),
-            trial,
-        }
-    }
-}
-
 impl Experiment for ClusterExp<'_> {
     type Point = (RouterKind, BackendKind);
     type Output = ClusterCell;
@@ -181,7 +143,7 @@ impl Experiment for ClusterExp<'_> {
             BackendKind::Squeezy,
             BackendKind::SqueezySoft,
         ];
-        RouterKind::ALL
+        GRID_ROUTERS
             .iter()
             .flat_map(|&r| backends.iter().map(move |&b| (r, b)))
             .collect()
@@ -196,78 +158,19 @@ impl Experiment for ClusterExp<'_> {
     }
 
     fn run_trial(&self, &(router, backend): &Self::Point, ctx: &mut TrialCtx) -> ClusterCell {
-        // The tenant traces are derived from (seed, trial) alone — every
-        // point of a trial sees identical load (paired comparison).
-        const TRACE_STREAM: u64 = 0x77;
-        let mut trace_rng = DetRng::new(self.cfg.seed)
-            .derive(TRACE_STREAM)
-            .derive(ctx.trial);
-        let tenants = multi_tenant_workload(
-            &MultiTenantConfig {
-                tenants: self.cfg.tenants,
-                duration_s: self.cfg.duration_s,
-                total_rps: self.cfg.total_rps,
-                zipf_exponent: self.cfg.zipf_exponent,
-            },
-            &mut trace_rng,
-        );
-        let offered: usize = tenants
-            .iter()
-            .map(|t| {
-                t.arrivals
-                    .iter()
-                    .filter(|&&a| a < self.cfg.duration_s)
-                    .count()
-            })
-            .sum();
-
-        let hosts = (0..self.cfg.hosts)
-            .map(|h| {
-                let mut cfg = self.host_config(&tenants, h, ctx.trial);
-                cfg.backend = backend;
-                cfg
-            })
-            .collect();
-        let traces = tenants
-            .iter()
-            .enumerate()
-            .map(|(ti, t)| TenantTrace {
-                vm: 0,
-                dep: ti,
-                arrivals: t.arrivals.clone(),
-            })
-            .collect();
-        let result = ClusterSim::new(
-            ClusterConfig {
-                hosts,
-                tenants: traces,
-            },
-            // Randomized routers draw from a (seed, trial)-derived
-            // stream so trials stay independent and reproducible.
-            router.build(DetRng::new(self.cfg.seed).derive(ctx.trial).seed()),
-        )
-        .expect("hosts boot")
-        .run();
-
-        let mut latency = Histogram::new();
-        for h in result.merged_latency().values() {
-            latency.merge(h);
-        }
-        let (cold, warm) = result.cold_warm_starts();
-        let per_host = result.routed_per_host();
-        let max_routed = per_host.iter().copied().max().unwrap_or(0) as f64;
-        let total_routed: u64 = per_host.iter().sum();
+        let out = self.cfg.scenario(router).run_trial(backend, ctx.trial);
+        let mut latency = out.merged_latency();
         ClusterCell {
             router,
             backend,
-            offered: offered as f64,
-            completed: result.completed as f64,
+            offered: out.offered as f64,
+            completed: out.completed as f64,
             p50_ms: latency.p50(),
             p99_ms: latency.p99(),
             mean_ms: latency.mean(),
-            cold_ratio: cold as f64 / (cold + warm).max(1) as f64,
-            gib_s: result.total_gib_seconds(),
-            hot_share: max_routed / (total_routed.max(1)) as f64,
+            cold_ratio: out.cold_ratio(),
+            gib_s: out.gib_seconds,
+            hot_share: out.hot_share().expect("cluster outcomes route"),
         }
     }
 }
@@ -308,7 +211,7 @@ pub fn render(cells: &[ClusterCell]) -> String {
     ]);
     for c in cells {
         t.row(vec![
-            c.router.name().to_string(),
+            c.router.key().to_string(),
             c.backend.name().to_string(),
             format!("{:.0}/{:.0}", c.completed, c.offered),
             format!("{:.0}", c.p50_ms),
@@ -360,7 +263,7 @@ mod tests {
             assert!(
                 c.completed >= c.offered * 0.95,
                 "{}/{} served {}/{}",
-                c.router.name(),
+                c.router.key(),
                 c.backend.name(),
                 c.completed,
                 c.offered
@@ -400,7 +303,7 @@ mod tests {
             assert!(
                 c.completed >= c.offered * 0.95,
                 "{}/{} served {}/{}",
-                c.router.name(),
+                c.router.key(),
                 c.backend.name(),
                 c.completed,
                 c.offered

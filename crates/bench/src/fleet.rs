@@ -13,56 +13,18 @@
 //! Routing uses the stale-view-tolerant power-of-two-choices router:
 //! a fleet whose host set churns (boots, drains, crashes) is exactly
 //! the environment it was designed for.
+//!
+//! Since the scenario API landed, this module is just a *grid* over
+//! [`Scenario`] cells: each `(policy, backend)` point is one
+//! declarative spec run through [`Scenario::run_trial`] — no hand-wired
+//! `SimConfig`/`FleetConfig` glue left.
 
-use faas::{
-    default_slos, AutoscaleOpts, AutoscalePolicy, BackendKind, Deployment, FailureConfig,
-    FixedFleet, FleetConfig, FleetResult, FleetSim, HarvestConfig, PowerOfTwoChoices, QueueDepth,
-    SimConfig, SlamSlo, TargetUtilization, TenantTrace, VmSpec,
-};
+use faas::{BackendKind, PolicyKind, RouterKind, Scenario, Topology};
 use mem_types::GIB;
 use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
-use sim_core::{DetRng, Histogram};
-use workloads::{diurnal_workload, DiurnalConfig, TenantLoad};
+use workloads::WorkloadKind;
 
 use crate::table::TextTable;
-
-/// Autoscale policies under test (construction recipe: policies are
-/// stateful and built fresh per cell).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum PolicyKind {
-    /// Frozen fleet provisioned at `max_hosts` — the static
-    /// peak-capacity baseline every elastic policy is judged against.
-    Fixed,
-    TargetUtil,
-    QueueDepth,
-    SlamSlo,
-}
-
-impl PolicyKind {
-    /// All policies, in table order.
-    pub const ALL: [PolicyKind; 4] = [
-        PolicyKind::Fixed,
-        PolicyKind::TargetUtil,
-        PolicyKind::QueueDepth,
-        PolicyKind::SlamSlo,
-    ];
-
-    /// Display name used in the table (the policy's own name, so the
-    /// labels cannot drift from the implementations).
-    pub fn name(self) -> &'static str {
-        self.build().name()
-    }
-
-    /// Builds a fresh policy instance.
-    pub fn build(self) -> Box<dyn AutoscalePolicy> {
-        match self {
-            PolicyKind::Fixed => Box::new(FixedFleet),
-            PolicyKind::TargetUtil => Box::new(TargetUtilization::default_policy()),
-            PolicyKind::QueueDepth => Box::new(QueueDepth::default_policy()),
-            PolicyKind::SlamSlo => Box::new(SlamSlo::default_policy()),
-        }
-    }
-}
 
 /// Experiment scale.
 #[derive(Clone, Debug)]
@@ -146,6 +108,30 @@ impl FleetBenchConfig {
             seed: 0xF7,
         }
     }
+
+    /// The declarative scenario one `(policy)` row of the grid runs;
+    /// the backend axis is supplied per cell at run time.
+    pub fn scenario(&self, policy: PolicyKind) -> Scenario {
+        let mut s = Scenario::new("fleet-grid", Topology::Fleet, WorkloadKind::Diurnal);
+        s.params.tenants = self.tenants;
+        s.params.duration_s = self.duration_s;
+        s.params.rps = self.peak_rps;
+        s.params.trough_rps = self.trough_rps;
+        s.params.period_s = self.period_s;
+        s.params.zipf_exponent = self.zipf_exponent;
+        s.host_capacity = self.host_capacity;
+        s.concurrency = self.concurrency;
+        s.keepalive_s = self.keepalive_s;
+        s.router = RouterKind::PowerOfTwo;
+        s.policy = policy;
+        s.min_hosts = self.min_hosts;
+        s.max_hosts = self.max_hosts;
+        s.boot_delay_s = self.boot_delay_s;
+        s.cooldown_s = self.cooldown_s;
+        s.mtbf_s = self.mtbf_s;
+        s.seed = self.seed;
+        s
+    }
 }
 
 /// One cell of the policy × backend grid (trial means).
@@ -185,51 +171,6 @@ struct FleetExp<'a> {
     trials: u32,
 }
 
-impl FleetExp<'_> {
-    fn host_config(
-        &self,
-        tenants: &[TenantLoad],
-        backend: BackendKind,
-        seed: u64,
-        trial: u64,
-    ) -> SimConfig {
-        let cfg = self.cfg;
-        SimConfig {
-            backend,
-            harvest: HarvestConfig::default(),
-            vms: vec![VmSpec {
-                deployments: tenants
-                    .iter()
-                    .map(|t| Deployment {
-                        kind: t.kind,
-                        concurrency: cfg.concurrency,
-                        arrivals: Vec::new(), // the fleet routes the traces
-                    })
-                    .collect(),
-                vcpus: None,
-            }],
-            host_capacity: cfg.host_capacity,
-            keepalive_s: cfg.keepalive_s,
-            duration_s: cfg.duration_s,
-            sample_period_s: 1.0,
-            unplug_deadline_ms: 5_000,
-            record_latency_points: false,
-            seed,
-            trial,
-        }
-    }
-
-    fn quarter_means(&self, result: &FleetResult) -> [f64; 4] {
-        let q = self.cfg.duration_s / 4.0;
-        core::array::from_fn(|i| {
-            result
-                .latency_over_time
-                .mean_in(i as f64 * q, (i + 1) as f64 * q)
-                .unwrap_or(0.0)
-        })
-    }
-}
-
 impl Experiment for FleetExp<'_> {
     type Point = (PolicyKind, BackendKind);
     type Output = FleetCell;
@@ -255,105 +196,34 @@ impl Experiment for FleetExp<'_> {
     }
 
     fn run_trial(&self, &(policy, backend): &Self::Point, ctx: &mut TrialCtx) -> FleetCell {
-        let cfg = self.cfg;
-        // The tenant traces are derived from (seed, trial) alone —
-        // every cell of a trial sees identical load and an identical
-        // crash plan (paired comparison).
-        const TRACE_STREAM: u64 = 0x77;
-        let mut trace_rng = DetRng::new(cfg.seed).derive(TRACE_STREAM).derive(ctx.trial);
-        let tenants = diurnal_workload(
-            &DiurnalConfig {
-                tenants: cfg.tenants,
-                duration_s: cfg.duration_s,
-                trough_rps: cfg.trough_rps,
-                peak_rps: cfg.peak_rps,
-                period_s: cfg.period_s,
-                zipf_exponent: cfg.zipf_exponent,
-                burst_factor: 2.0,
-                burst_duty: 0.15,
-            },
-            &mut trace_rng,
-        );
-        let offered: usize = tenants
-            .iter()
-            .map(|t| t.arrivals.iter().filter(|&&a| a < cfg.duration_s).count())
-            .sum();
-
-        // The fixed baseline is provisioned for the peak; elastic
-        // policies start at the floor and earn their capacity.
-        let initial = if policy == PolicyKind::Fixed {
-            cfg.max_hosts
-        } else {
-            cfg.min_hosts
-        };
-        let host_seed = |h: u64| DetRng::new(cfg.seed).derive(0x40 + h).seed();
-        // The template's seed tag (0x3E) sits far above any initial
-        // host index, so booted hosts never share an initial stream.
-        let template = self.host_config(&tenants, backend, host_seed(0x3E), ctx.trial);
-        let slo = default_slos(tenants.iter().map(|t| t.kind));
-        let fleet_cfg = FleetConfig {
-            initial_hosts: (0..initial)
-                .map(|h| self.host_config(&tenants, backend, host_seed(h as u64), ctx.trial))
-                .collect(),
-            template,
-            tenants: tenants
-                .iter()
-                .enumerate()
-                .map(|(ti, t)| TenantTrace {
-                    vm: 0,
-                    dep: ti,
-                    arrivals: t.arrivals.clone(),
-                })
-                .collect(),
-            autoscale: AutoscaleOpts {
-                min_hosts: if policy == PolicyKind::Fixed {
-                    cfg.max_hosts
-                } else {
-                    cfg.min_hosts
-                },
-                max_hosts: cfg.max_hosts,
-                boot_delay_s: cfg.boot_delay_s,
-                cooldown_s: cfg.cooldown_s,
-            },
-            failures: FailureConfig { mtbf_s: cfg.mtbf_s },
-            slo,
-            // The fleet's own streams (crash plan, reservoir) are
-            // derived from (seed, trial) so every cell of a trial
-            // sees the same crash instants.
-            seed: DetRng::new(cfg.seed)
-                .derive(0xF1EE)
-                .derive(ctx.trial)
-                .seed(),
-        };
-        // Probe stream derived from (seed, trial) through the router's
-        // own constructor, like the cluster bench — the stream tag
-        // lives in one place.
-        let router = PowerOfTwoChoices::from_seed(DetRng::new(cfg.seed).derive(ctx.trial).seed());
-        let result = FleetSim::new(fleet_cfg, Box::new(router), policy.build())
-            .expect("fleet boots")
-            .run();
-
-        let mut latency = Histogram::new();
-        for h in result.merged_latency().values() {
-            latency.merge(h);
-        }
-        let (cold, warm) = result.cold_warm_starts();
+        let out = self.cfg.scenario(policy).run_trial(backend, ctx.trial);
+        let reservoir = out
+            .latency_over_time
+            .as_ref()
+            .expect("fleet outcomes carry a reservoir");
+        let q = self.cfg.duration_s / 4.0;
+        let lat_quarters = core::array::from_fn(|i| {
+            reservoir
+                .mean_in(i as f64 * q, (i + 1) as f64 * q)
+                .unwrap_or(0.0)
+        });
+        let stats = out.fleet.as_ref().expect("fleet outcomes carry stats");
         FleetCell {
             policy,
             backend,
-            offered: offered as f64,
-            completed: result.completed as f64,
-            p99_ms: latency.p99(),
-            cold_ratio: cold as f64 / (cold + warm).max(1) as f64,
-            slo_viol: result.slo_violation_rate(),
-            host_hours: result.host_hours(),
-            min_hosts: result.min_active() as f64,
-            peak_hosts: result.peak_active() as f64,
-            scale_ups: result.scale_ups as f64,
-            scale_downs: result.scale_downs as f64,
-            crashes: result.crashes as f64,
-            lost: result.lost as f64,
-            lat_quarters: self.quarter_means(&result),
+            offered: out.offered as f64,
+            completed: out.completed as f64,
+            p99_ms: out.merged_latency().p99(),
+            cold_ratio: out.cold_ratio(),
+            slo_viol: stats.slo_violation_rate(),
+            host_hours: stats.host_hours,
+            min_hosts: stats.min_active as f64,
+            peak_hosts: stats.peak_active as f64,
+            scale_ups: stats.scale_ups as f64,
+            scale_downs: stats.scale_downs as f64,
+            crashes: stats.crashes as f64,
+            lost: stats.lost as f64,
+            lat_quarters,
         }
     }
 }
@@ -402,7 +272,7 @@ pub fn render(cells: &[FleetCell]) -> String {
     ]);
     for c in cells {
         t.row(vec![
-            c.policy.name().to_string(),
+            c.policy.key().to_string(),
             c.backend.name().to_string(),
             format!("{:.0}/{:.0}", c.completed, c.offered),
             format!("{:.0}", c.p99_ms),
@@ -506,7 +376,7 @@ mod tests {
             assert!(
                 c.completed + c.lost >= c.offered * 0.8,
                 "{}/{} accounted for {}+{} of {}",
-                c.policy.name(),
+                c.policy.key(),
                 c.backend.name(),
                 c.completed,
                 c.lost,
@@ -553,7 +423,7 @@ mod tests {
             assert!(
                 c.completed + c.lost >= c.offered * 0.8,
                 "{}/{} served {} (+{} lost) of {}",
-                c.policy.name(),
+                c.policy.key(),
                 c.backend.name(),
                 c.completed,
                 c.lost,

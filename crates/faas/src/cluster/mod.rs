@@ -17,7 +17,8 @@
 mod router;
 
 pub use router::{
-    HostLoad, LeastLoaded, PowerOfTwoChoices, RoundRobin, Router, SingleHost, WarmAffinity,
+    HostLoad, LeastLoaded, PowerOfTwoChoices, RoundRobin, Router, RouterKind, SingleHost,
+    WarmAffinity,
 };
 
 use std::collections::BTreeMap;
@@ -58,6 +59,46 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Builds the cluster a
+    /// [`Topology::Cluster`](crate::scenario::Topology::Cluster)
+    /// scenario runs: `n` identical hosts on derived jitter seeds, the
+    /// scenario's tenant traces routed across them.
+    ///
+    /// Part of the scenario front door — the `scenario_equivalence`
+    /// test pins `Scenario::run_trial` byte-identical to
+    /// `ClusterSim::new(ClusterConfig::from_scenario(..), ..).run()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's topology is not `cluster(n)`.
+    pub fn from_scenario(
+        spec: &crate::scenario::Scenario,
+        backend: crate::config::BackendKind,
+        trial: u64,
+    ) -> ClusterConfig {
+        let crate::scenario::Topology::Cluster(n) = spec.topology else {
+            panic!(
+                "ClusterConfig::from_scenario needs a cluster(n) topology, got {}",
+                spec.topology.key()
+            );
+        };
+        let tenants = spec.tenant_loads(trial);
+        ClusterConfig {
+            hosts: (0..n)
+                .map(|h| spec.host_config(&tenants, backend, spec.host_seed(h as u64), trial))
+                .collect(),
+            tenants: tenants
+                .iter()
+                .enumerate()
+                .map(|(ti, t)| TenantTrace {
+                    vm: 0,
+                    dep: ti,
+                    arrivals: t.arrivals.clone(),
+                })
+                .collect(),
+        }
+    }
+
     /// Wraps a single-host config into a cluster: its deployments'
     /// arrival traces become the tenant traces. With the
     /// [`SingleHost`] router this reproduces `FaasSim::new(cfg)`

@@ -45,6 +45,56 @@ pub trait Router {
     fn route(&mut self, tenant: usize, hosts: &[HostLoad]) -> usize;
 }
 
+/// The router registry: construction recipes for every routing policy,
+/// addressable by the string key scenario specs and result tables use.
+///
+/// `Box<dyn Router>` is stateful, so grids and scenarios carry a
+/// `RouterKind` and build a fresh instance per run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouterKind {
+    /// Everything to host 0 (the single-host equivalence mode).
+    SingleHost,
+    RoundRobin,
+    LeastLoaded,
+    WarmAffinity,
+    PowerOfTwo,
+}
+
+impl RouterKind {
+    /// All routing policies, in table order.
+    pub const ALL: [RouterKind; 5] = [
+        RouterKind::SingleHost,
+        RouterKind::RoundRobin,
+        RouterKind::LeastLoaded,
+        RouterKind::WarmAffinity,
+        RouterKind::PowerOfTwo,
+    ];
+
+    /// Registry key — the router's own display name, so spec files and
+    /// result tables cannot drift from the implementations.
+    pub fn key(self) -> &'static str {
+        self.build(0).name()
+    }
+
+    /// Looks a router up by key; `Err` carries the full list of valid
+    /// keys.
+    pub fn from_key(key: &str) -> Result<RouterKind, String> {
+        sim_core::registry::lookup("router", &RouterKind::ALL, RouterKind::key, key)
+    }
+
+    /// Builds a fresh router instance. Randomized policies derive their
+    /// probe stream from `seed`; the deterministic ones ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Router> {
+        match self {
+            RouterKind::SingleHost => Box::new(SingleHost),
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::LeastLoaded => Box::new(LeastLoaded),
+            RouterKind::WarmAffinity => Box::new(WarmAffinity),
+            RouterKind::PowerOfTwo => Box::new(PowerOfTwoChoices::from_seed(seed)),
+        }
+    }
+}
+
 /// Routes everything to host 0 — the passthrough router that makes a
 /// one-host cluster reproduce the single-host simulator exactly.
 pub struct SingleHost;
@@ -259,5 +309,16 @@ mod tests {
         let hosts = vec![load(0, 3, 3)];
         let mut r = PowerOfTwoChoices::from_seed(1);
         assert_eq!(r.route(0, &hosts), 0);
+    }
+
+    #[test]
+    fn router_registry_round_trips() {
+        for r in RouterKind::ALL {
+            assert_eq!(RouterKind::from_key(r.key()), Ok(r));
+        }
+        let err = RouterKind::from_key("p2c").unwrap_err();
+        assert!(err.contains("power-of-two"), "error lists keys: {err}");
+        assert_eq!(RouterKind::PowerOfTwo.key(), "power-of-two");
+        assert_eq!(RouterKind::SingleHost.key(), "single-host");
     }
 }

@@ -22,6 +22,15 @@ pub enum BackendKind {
 }
 
 impl BackendKind {
+    /// All backends, in evaluation order.
+    pub const ALL: [BackendKind; 5] = [
+        BackendKind::Static,
+        BackendKind::VirtioMem,
+        BackendKind::HarvestOpts,
+        BackendKind::Squeezy,
+        BackendKind::SqueezySoft,
+    ];
+
     /// Display name used in result tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -31,6 +40,24 @@ impl BackendKind {
             BackendKind::Squeezy => "Squeezy",
             BackendKind::SqueezySoft => "Squeezy+soft",
         }
+    }
+
+    /// Lowercase registry key used by scenario spec files
+    /// (`backend = squeezy, virtio-mem`).
+    pub fn key(self) -> &'static str {
+        match self {
+            BackendKind::Static => "static",
+            BackendKind::VirtioMem => "virtio-mem",
+            BackendKind::HarvestOpts => "harvest",
+            BackendKind::Squeezy => "squeezy",
+            BackendKind::SqueezySoft => "squeezy-soft",
+        }
+    }
+
+    /// Looks a backend up by its registry key; `Err` carries the full
+    /// list of valid keys.
+    pub fn from_key(key: &str) -> Result<BackendKind, String> {
+        sim_core::registry::lookup("backend", &BackendKind::ALL, BackendKind::key, key)
     }
 
     /// Returns `true` for the backends that install a Squeezy manager.
@@ -129,6 +156,31 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// Builds the single-host configuration a
+    /// [`Topology::SingleVm`](crate::scenario::Topology::SingleVm)
+    /// scenario runs: one VM whose deployments carry the scenario's
+    /// tenant traces directly.
+    ///
+    /// Part of the scenario front door — the `scenario_equivalence`
+    /// test pins `Scenario::run_trial` byte-identical to
+    /// `FaasSim::new(SimConfig::from_scenario(..)).run()`.
+    pub fn from_scenario(
+        spec: &crate::scenario::Scenario,
+        backend: BackendKind,
+        trial: u64,
+    ) -> SimConfig {
+        let tenants = spec.tenant_loads(trial);
+        let mut cfg = spec.host_config(&tenants, backend, spec.host_seed(0), trial);
+        for (dep, t) in cfg.vms[0].deployments.iter_mut().zip(tenants) {
+            dep.arrivals = t.arrivals;
+        }
+        // A single host records exact per-request latency points (the
+        // Figure-9-style time-resolved view); multi-host topologies
+        // use the bounded reservoir instead.
+        cfg.record_latency_points = true;
+        cfg
+    }
+
     /// A single-VM configuration with sensible defaults.
     pub fn single_vm(backend: BackendKind, deployment: Deployment, duration_s: f64) -> Self {
         SimConfig {

@@ -38,8 +38,8 @@ mod policy;
 
 pub use failure::FailureConfig;
 pub use policy::{
-    default_slos, AutoscalePolicy, FixedFleet, FleetView, LatencyObs, QueueDepth, ScaleDecision,
-    SlamSlo, TargetUtilization,
+    default_slos, AutoscalePolicy, FixedFleet, FleetView, LatencyObs, PolicyKind, QueueDepth,
+    ScaleDecision, SlamSlo, TargetUtilization,
 };
 
 use std::collections::BTreeMap;
@@ -160,6 +160,62 @@ impl FleetConfig {
             failures: FailureConfig::off(),
             slo,
             seed,
+        }
+    }
+
+    /// Builds the fleet a
+    /// [`Topology::Fleet`](crate::scenario::Topology::Fleet) scenario
+    /// runs: the `fixed` policy provisions `max_hosts` up front (the
+    /// static peak-capacity baseline), every other policy starts at
+    /// `min_hosts` and earns its capacity; the boot template sits on
+    /// its own seed tag so autoscaler-booted hosts never share an
+    /// initial host's jitter stream.
+    ///
+    /// Part of the scenario front door — the `scenario_equivalence`
+    /// test pins `Scenario::run_trial` byte-identical to
+    /// `FleetSim::new(FleetConfig::from_scenario(..), ..).run()`.
+    pub fn from_scenario(
+        spec: &crate::scenario::Scenario,
+        backend: crate::config::BackendKind,
+        trial: u64,
+    ) -> FleetConfig {
+        use crate::fleet::policy::PolicyKind;
+        use crate::scenario::TEMPLATE_TAG;
+        let tenants = spec.tenant_loads(trial);
+        let initial = if spec.policy == PolicyKind::Fixed {
+            spec.max_hosts
+        } else {
+            spec.min_hosts
+        };
+        FleetConfig {
+            initial_hosts: (0..initial)
+                .map(|h| spec.host_config(&tenants, backend, spec.host_seed(h as u64), trial))
+                .collect(),
+            template: spec.host_config(&tenants, backend, spec.host_seed(TEMPLATE_TAG), trial),
+            slo: spec.effective_slos(tenants.iter().map(|t| t.kind)),
+            tenants: tenants
+                .into_iter()
+                .enumerate()
+                .map(|(ti, t)| TenantTrace {
+                    vm: 0,
+                    dep: ti,
+                    arrivals: t.arrivals,
+                })
+                .collect(),
+            autoscale: AutoscaleOpts {
+                min_hosts: if spec.policy == PolicyKind::Fixed {
+                    spec.max_hosts
+                } else {
+                    spec.min_hosts
+                },
+                max_hosts: spec.max_hosts,
+                boot_delay_s: spec.boot_delay_s,
+                cooldown_s: spec.cooldown_s,
+            },
+            failures: FailureConfig {
+                mtbf_s: spec.mtbf_s,
+            },
+            seed: spec.fleet_seed(trial),
         }
     }
 

@@ -125,6 +125,54 @@ pub trait AutoscalePolicy {
     fn decide(&mut self, view: &FleetView) -> ScaleDecision;
 }
 
+/// The autoscale-policy registry: construction recipes addressable by
+/// the string key scenario specs and result tables use.
+///
+/// Policies are stateful, so grids and scenarios carry a `PolicyKind`
+/// and build a fresh instance per run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyKind {
+    /// Frozen fleet — the static peak-capacity baseline every elastic
+    /// policy is judged against (and the `FleetSim ≡ ClusterSim`
+    /// equivalence mode).
+    Fixed,
+    TargetUtil,
+    QueueDepth,
+    SlamSlo,
+}
+
+impl PolicyKind {
+    /// All policies, in table order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Fixed,
+        PolicyKind::TargetUtil,
+        PolicyKind::QueueDepth,
+        PolicyKind::SlamSlo,
+    ];
+
+    /// Registry key — the policy's own display name, so spec files and
+    /// result tables cannot drift from the implementations.
+    pub fn key(self) -> &'static str {
+        self.build().name()
+    }
+
+    /// Looks a policy up by key; `Err` carries the full list of valid
+    /// keys.
+    pub fn from_key(key: &str) -> Result<PolicyKind, String> {
+        sim_core::registry::lookup("policy", &PolicyKind::ALL, PolicyKind::key, key)
+    }
+
+    /// Builds a fresh policy instance (bench defaults).
+    pub fn build(self) -> Box<dyn AutoscalePolicy> {
+        match self {
+            PolicyKind::Fixed => Box::new(FixedFleet),
+            PolicyKind::TargetUtil => Box::new(TargetUtilization::default_policy()),
+            PolicyKind::QueueDepth => Box::new(QueueDepth::default_policy()),
+            PolicyKind::SlamSlo => Box::new(SlamSlo::default_policy()),
+        }
+    }
+}
+
 /// No autoscaling: the host set never changes (except for injected
 /// failures). The equivalence-property mode and the bench baseline.
 pub struct FixedFleet;
@@ -442,6 +490,17 @@ mod tests {
             default_slos([FunctionKind::Html, FunctionKind::Html]).len(),
             1
         );
+    }
+
+    #[test]
+    fn policy_registry_round_trips() {
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_key(p.key()), Ok(p));
+        }
+        let err = PolicyKind::from_key("slam").unwrap_err();
+        assert!(err.contains("slam-slo"), "error lists keys: {err}");
+        assert_eq!(PolicyKind::Fixed.key(), "fixed");
+        assert_eq!(PolicyKind::TargetUtil.key(), "target-util");
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   injection. With a fixed fleet it reproduces [`ClusterSim`]
 //!   byte-for-byte.
 //!
+//! The **scenario front door** ([`scenario`]) sits above all four:
+//! a declarative, serializable [`Scenario`] spec names a workload, a
+//! topology, backends, a router, a policy and SLOs, and
+//! [`Scenario::run`] dispatches to the right simulator — every layer
+//! gains a `from_scenario` constructor and every experiment becomes a
+//! data change.
+//!
 //! Also provides the 1:1 microVM cold-start model for the Figure-11
 //! comparison.
 
@@ -36,19 +43,21 @@ pub mod fleet;
 pub mod hybrid;
 pub mod metrics;
 pub mod microvm;
+pub mod scenario;
 pub mod sim;
 
 pub use cluster::{
     ClusterConfig, ClusterResult, ClusterSim, HostLoad, LeastLoaded, PowerOfTwoChoices, RoundRobin,
-    Router, SingleHost, TenantTrace, WarmAffinity, LATENCY_RESERVOIR_CAP,
+    Router, RouterKind, SingleHost, TenantTrace, WarmAffinity, LATENCY_RESERVOIR_CAP,
 };
 pub use config::{BackendKind, Deployment, HarvestConfig, SimConfig, VmSpec};
 pub use fleet::{
     default_slos, AutoscaleOpts, AutoscalePolicy, FailureConfig, FixedFleet, FleetConfig,
-    FleetResult, FleetSim, FleetView, HostOutcome, HostState, LatencyObs, QueueDepth,
+    FleetResult, FleetSim, FleetView, HostOutcome, HostState, LatencyObs, PolicyKind, QueueDepth,
     ScaleDecision, SlamSlo, TargetUtilization,
 };
 pub use hybrid::{absorb_burst, BurstOutcome, ScaleStrategy};
 pub use metrics::{FuncMetrics, ReclaimTotals, SimResult};
 pub use microvm::{microvm_cold_start, n_to_one_cold_start, ColdStartBreakdown};
+pub use scenario::{FleetStats, Scenario, ScenarioOutcome, ScenarioResult, Topology};
 pub use sim::FaasSim;

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use sim_core::{Histogram, SimDuration, SimTime, TimeSeries};
+use sim_core::{Fnv1a, Histogram, SimDuration, SimTime, TimeSeries};
 use workloads::FunctionKind;
 
 /// Per-function request metrics.
@@ -102,7 +102,8 @@ impl SimResult {
             .unwrap_or(0.0)
     }
 
-    /// A stable FNV-1a digest over every field of the result —
+    /// A stable FNV-1a digest (via [`sim_core::Fnv1a`], the workspace's
+    /// one hashing primitive) over every field of the result —
     /// latencies and time series at full f64 bit precision.
     ///
     /// Histogram samples are hashed in sorted order so the digest is
@@ -112,64 +113,64 @@ impl SimResult {
     /// sample multisets, point lists, series and counters — what the
     /// golden-regression tests pin across refactors and what the
     /// cluster/single-host equivalence property compares.
+    ///
+    /// Each `u64`/`f64` field enters the hasher as its little-endian
+    /// bytes and each name byte as a zero-extended `u64` — the exact
+    /// byte stream of the original hand-rolled implementation, so the
+    /// pinned golden digests survived the switch to the shared hasher
+    /// unchanged.
     pub fn digest(&self) -> u64 {
-        let mut h = 0xCBF2_9CE4_8422_2325u64;
-        let mut put = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01B3);
-            }
-        };
-        let put_histogram = |put: &mut dyn FnMut(u64), hist: &Histogram| {
-            put(hist.count() as u64);
+        let mut h = Fnv1a::new();
+        let put_histogram = |h: &mut Fnv1a, hist: &Histogram| {
+            h.write_u64(hist.count() as u64);
             let mut sorted = hist.samples().to_vec();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
             for s in sorted {
-                put(s.to_bits());
+                h.write_f64(s);
             }
         };
-        let put_series = |put: &mut dyn FnMut(u64), ts: &TimeSeries| {
-            put(ts.len() as u64);
+        let put_series = |h: &mut Fnv1a, ts: &TimeSeries| {
+            h.write_u64(ts.len() as u64);
             for &(t, v) in ts.points() {
-                put(t.0);
-                put(v.to_bits());
+                h.write_u64(t.0);
+                h.write_f64(v);
             }
         };
-        put(self.completed);
-        put(self.end.0);
-        put(self.per_func.len() as u64);
+        h.write_u64(self.completed);
+        h.write_u64(self.end.0);
+        h.write_u64(self.per_func.len() as u64);
         for (kind, m) in &self.per_func {
             for b in kind.name().bytes() {
-                put(b as u64);
+                h.write_u64(b as u64);
             }
-            put(m.cold_starts);
-            put(m.warm_starts);
-            put_histogram(&mut put, &m.latency);
-            put_histogram(&mut put, &m.cold_start_latency);
-            put(m.latency_points.len() as u64);
+            h.write_u64(m.cold_starts);
+            h.write_u64(m.warm_starts);
+            put_histogram(&mut h, &m.latency);
+            put_histogram(&mut h, &m.cold_start_latency);
+            h.write_u64(m.latency_points.len() as u64);
             for &(a, l) in &m.latency_points {
-                put(a.to_bits());
-                put(l.to_bits());
+                h.write_f64(a);
+                h.write_f64(l);
             }
         }
-        put_series(&mut put, &self.host_usage);
-        put(self.guest_usage.len() as u64);
+        put_series(&mut h, &self.host_usage);
+        h.write_u64(self.guest_usage.len() as u64);
         for ts in &self.guest_usage {
-            put_series(&mut put, ts);
+            put_series(&mut h, ts);
         }
-        put(self.instance_counts.len() as u64);
+        h.write_u64(self.instance_counts.len() as u64);
         for ts in &self.instance_counts {
-            put_series(&mut put, ts);
+            put_series(&mut h, ts);
         }
-        put(self.reclaims.len() as u64);
+        h.write_u64(self.reclaims.len() as u64);
         for r in &self.reclaims {
-            put(r.bytes);
-            put(r.wall.0);
-            put(r.ops);
-            put(r.shortfalls);
-            put(r.pages_migrated);
+            h.write_u64(r.bytes);
+            h.write_u64(r.wall.0);
+            h.write_u64(r.ops);
+            h.write_u64(r.shortfalls);
+            h.write_u64(r.pages_migrated);
         }
-        h
+        h.finish()
     }
 
     /// Aggregate reclaim totals across VMs.

@@ -1,0 +1,658 @@
+//! The declarative scenario API: one front door to all three
+//! simulators.
+//!
+//! A [`Scenario`] names everything an experiment needs — a workload
+//! from the [`workloads::registry`], a topology
+//! ([`Topology::SingleVm`] | [`Topology::Cluster`] | [`Topology::Fleet`]),
+//! an elasticity backend per host (or a sweep list of them), a router,
+//! an autoscale policy, SLOs, duration/seed/trials — and
+//! [`Scenario::run`] dispatches to [`crate::FaasSim`],
+//! [`crate::ClusterSim`] or [`crate::FleetSim`] and returns one unified
+//! [`ScenarioResult`]. Every future experiment becomes a data change:
+//! a spec file (see [`Scenario::parse`] / [`Scenario::render`] for the
+//! line-oriented `key = value` format) instead of another ~100 lines
+//! of hand-wired config glue.
+//!
+//! Determinism contract: a scenario's RNG streams are derived from
+//! `(seed, trial)` through the *same* stream tags the bench harness
+//! has always used, so
+//!
+//! * every backend of a sweep sees identical tenant traces and crash
+//!   plans (paired comparison), and
+//! * `Scenario::run_trial` is byte-identical to a hand-built
+//!   `SimConfig`/`ClusterConfig`/`FleetConfig` — the
+//!   `scenario_equivalence` tests pin all three topologies.
+
+mod format;
+mod result;
+
+pub use result::{FleetStats, ScenarioOutcome, ScenarioResult};
+
+use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
+use sim_core::DetRng;
+use workloads::{FunctionKind, TenantLoad, WorkloadKind, WorkloadParams};
+
+use crate::cluster::RouterKind;
+use crate::config::{BackendKind, HarvestConfig, SimConfig};
+use crate::fleet::{default_slos, PolicyKind};
+use crate::{ClusterConfig, ClusterSim, FaasSim, FleetConfig, FleetSim};
+
+/// Derivation tag of the tenant-trace stream: traces depend on
+/// `(seed, trial)` only, never on the backend or router under test.
+pub(crate) const TRACE_STREAM: u64 = 0x77;
+
+/// Base tag of per-host jitter seeds (`host_seed(h) = seed → 0x40+h`).
+pub(crate) const HOST_SEED_BASE: u64 = 0x40;
+
+/// Largest host count a spec may ask for. Host indices above this
+/// would push `0x40 + h` into the reserved tags ([`TEMPLATE_TAG`]'s
+/// `0x40 + 0x3E` and [`TRACE_STREAM`]), aliasing streams the design
+/// promises are independent — `validate` rejects such specs.
+pub(crate) const HOST_TAG_CAP: usize = 0x20;
+
+/// Host-seed tag of the fleet's boot template — above every valid
+/// initial host index (see [`HOST_TAG_CAP`]), so booted hosts never
+/// share an initial host's stream.
+pub(crate) const TEMPLATE_TAG: u64 = 0x3E;
+
+/// Derivation tag of the fleet's own streams (crash plan, reservoir).
+pub(crate) const FLEET_STREAM: u64 = 0xF1EE;
+
+/// Which simulator a scenario runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Topology {
+    /// One host driven by [`crate::FaasSim`] (the paper's deployment).
+    SingleVm,
+    /// `n` hosts under one event engine ([`crate::ClusterSim`]).
+    Cluster(usize),
+    /// An elastic host set with a control plane ([`crate::FleetSim`]).
+    Fleet,
+}
+
+impl Topology {
+    /// Registry key used by spec files (`cluster(4)` carries its size).
+    pub fn key(self) -> String {
+        match self {
+            Topology::SingleVm => "single-vm".to_string(),
+            Topology::Cluster(n) => format!("cluster({n})"),
+            Topology::Fleet => "fleet".to_string(),
+        }
+    }
+
+    /// Parses a topology key; `Err` carries the valid forms.
+    pub fn from_key(key: &str) -> Result<Topology, String> {
+        match key {
+            "single-vm" => Ok(Topology::SingleVm),
+            "fleet" => Ok(Topology::Fleet),
+            other => {
+                let inner = other
+                    .strip_prefix("cluster(")
+                    .and_then(|rest| rest.strip_suffix(')'));
+                match inner.and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => Ok(Topology::Cluster(n)),
+                    None => Err(format!(
+                        "unknown topology {key:?} (valid: single-vm, cluster(N), fleet)"
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// A declarative experiment specification — the single public entry
+/// point to the single-VM, cluster and fleet simulators.
+///
+/// Build one in code (start from [`Scenario::new`] and set fields) or
+/// load one from a spec file with [`Scenario::parse`]. Fields that a
+/// topology does not use are simply ignored by it (`policy` on a
+/// cluster, `router` on a single VM), the same way host configs inside
+/// a [`ClusterConfig`] ignore their arrival lists; [`Scenario::validate`]
+/// checks values and cross-field consistency up front with real error
+/// messages.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Display name (also the report-section title under `repro run`).
+    pub name: String,
+    /// Which simulator runs the spec.
+    pub topology: Topology,
+    /// The elasticity backends to sweep — one [`ScenarioResult`] cell
+    /// per backend, all under identical traces (paired comparison).
+    pub backends: Vec<BackendKind>,
+    /// Named workload generator (see [`WorkloadKind`]).
+    pub workload: WorkloadKind,
+    /// The workload parameter block (tenants, rates, duration, ...).
+    pub params: WorkloadParams,
+    /// Per-tenant max concurrent instances on each host.
+    pub concurrency: u32,
+    /// Keep-alive window before evicting idle instances, in seconds.
+    pub keepalive_s: f64,
+    /// Physical memory per host, in bytes.
+    pub host_capacity: u64,
+    /// Routing policy (cluster and fleet topologies).
+    pub router: RouterKind,
+    /// Autoscale policy (fleet topology).
+    pub policy: PolicyKind,
+    /// Fleet size floor (fleet topology).
+    pub min_hosts: usize,
+    /// Fleet size ceiling; the `fixed` policy provisions at this peak.
+    pub max_hosts: usize,
+    /// Provisioning delay for booted hosts, in seconds.
+    pub boot_delay_s: f64,
+    /// Cooldown between scale actions, in seconds.
+    pub cooldown_s: f64,
+    /// Mean time between injected host crashes (0 disables; fleet
+    /// topology).
+    pub mtbf_s: f64,
+    /// Per-function SLO target overrides in milliseconds; functions
+    /// without an override use [`default_slos`].
+    pub slo: Vec<(FunctionKind, f64)>,
+    /// Root seed of every derived stream.
+    pub seed: u64,
+    /// Repeated trials on derived RNG streams (a `repro run --trials`
+    /// flag larger than 1 overrides this).
+    pub trials: u32,
+}
+
+impl Scenario {
+    /// A scenario with the registry defaults: Squeezy backend,
+    /// least-loaded router, fixed fleet policy, 6 GiB hosts, seed 42,
+    /// one trial.
+    pub fn new(name: &str, topology: Topology, workload: WorkloadKind) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            topology,
+            backends: vec![BackendKind::Squeezy],
+            workload,
+            params: WorkloadParams::default(),
+            concurrency: 2,
+            keepalive_s: 20.0,
+            host_capacity: 6 * mem_types::GIB,
+            router: RouterKind::LeastLoaded,
+            policy: PolicyKind::Fixed,
+            min_hosts: 1,
+            max_hosts: 4,
+            boot_delay_s: 15.0,
+            cooldown_s: 10.0,
+            mtbf_s: 0.0,
+            slo: Vec::new(),
+            seed: 42,
+            trials: 1,
+        }
+    }
+
+    /// Validates the spec up front; `Err` lists *every* problem, one
+    /// per line, so a spec file is fixed in one pass.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut errs: Vec<String> = Vec::new();
+        let mut check = |ok: bool, msg: String| {
+            if !ok {
+                errs.push(msg);
+            }
+        };
+        let p = &self.params;
+        // The spec format stores the name as one `key = value` line
+        // with trimmed ends, so only names that survive that trip are
+        // valid — `parse(render(s)) == s` depends on it.
+        check(
+            !self.name.is_empty() && !self.name.contains('\n') && self.name.trim() == self.name,
+            "name must be non-empty and single-line, without leading/trailing whitespace"
+                .to_string(),
+        );
+        check(
+            !self.backends.is_empty(),
+            "backend list must not be empty".to_string(),
+        );
+        for (i, b) in self.backends.iter().enumerate() {
+            check(
+                !self.backends[..i].contains(b),
+                format!("backend {} listed twice", b.key()),
+            );
+        }
+        check(
+            p.tenants >= 1,
+            format!("tenants must be ≥ 1 (got {})", p.tenants),
+        );
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        check(
+            positive(p.duration_s),
+            format!("duration_s must be positive (got {})", p.duration_s),
+        );
+        check(
+            positive(p.rps),
+            format!("rps must be positive (got {})", p.rps),
+        );
+        check(
+            p.zipf_exponent.is_finite() && p.zipf_exponent >= 0.0,
+            format!("zipf_exponent must be ≥ 0 (got {})", p.zipf_exponent),
+        );
+        if self.workload == WorkloadKind::Diurnal {
+            check(
+                positive(p.trough_rps),
+                format!("trough_rps must be positive (got {})", p.trough_rps),
+            );
+            check(
+                p.trough_rps <= p.rps,
+                format!(
+                    "trough_rps ({}) must be ≤ rps ({}, the diurnal peak)",
+                    p.trough_rps, p.rps
+                ),
+            );
+            check(
+                positive(p.period_s),
+                format!("period_s must be positive (got {})", p.period_s),
+            );
+            check(
+                p.burst_factor.is_finite() && p.burst_factor >= 1.0,
+                format!("burst_factor must be ≥ 1 (got {})", p.burst_factor),
+            );
+            check(
+                (0.0..1.0).contains(&p.burst_duty),
+                format!("burst_duty must be in [0, 1) (got {})", p.burst_duty),
+            );
+        }
+        check(
+            self.concurrency >= 1,
+            format!("concurrency must be ≥ 1 (got {})", self.concurrency),
+        );
+        check(
+            self.keepalive_s.is_finite() && self.keepalive_s >= 0.0,
+            format!("keepalive_s must be ≥ 0 (got {})", self.keepalive_s),
+        );
+        check(
+            self.host_capacity > 0,
+            "host_capacity must be positive".to_string(),
+        );
+        if let Topology::Cluster(n) = self.topology {
+            check(n >= 1, format!("cluster size must be ≥ 1 (got {n})"));
+            check(
+                n <= HOST_TAG_CAP,
+                format!("cluster size must be ≤ {HOST_TAG_CAP} (got {n}): host seed tags live below the reserved stream tags"),
+            );
+        }
+        if self.topology == Topology::Fleet {
+            check(
+                self.min_hosts >= 1,
+                format!("min_hosts must be ≥ 1 (got {})", self.min_hosts),
+            );
+            check(
+                self.max_hosts >= self.min_hosts,
+                format!(
+                    "max_hosts ({}) must be ≥ min_hosts ({})",
+                    self.max_hosts, self.min_hosts
+                ),
+            );
+            check(
+                self.max_hosts <= HOST_TAG_CAP,
+                format!("max_hosts must be ≤ {HOST_TAG_CAP} (got {}): host seed tags live below the reserved stream tags", self.max_hosts),
+            );
+            check(
+                positive(self.boot_delay_s),
+                format!("boot_delay_s must be positive (got {})", self.boot_delay_s),
+            );
+            check(
+                self.cooldown_s.is_finite() && self.cooldown_s >= 0.0,
+                format!("cooldown_s must be ≥ 0 (got {})", self.cooldown_s),
+            );
+            check(
+                self.mtbf_s.is_finite() && self.mtbf_s >= 0.0,
+                format!("mtbf_s must be ≥ 0 (got {}; 0 disables)", self.mtbf_s),
+            );
+        }
+        for (i, &(kind, target)) in self.slo.iter().enumerate() {
+            check(
+                positive(target),
+                format!("slo.{} must be positive (got {target})", kind.key()),
+            );
+            check(
+                !self.slo[..i].iter().any(|&(k, _)| k == kind),
+                format!("slo.{} listed twice", kind.key()),
+            );
+        }
+        check(
+            self.trials >= 1,
+            format!("trials must be ≥ 1 (got {})", self.trials),
+        );
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "scenario {:?} is invalid:\n  - {}",
+                self.name,
+                errs.join("\n  - ")
+            ))
+        }
+    }
+
+    /// A CI-scale variant: duration capped at 120 simulated seconds,
+    /// one trial. Deterministic, so `repro run --quick` output stays
+    /// byte-identical across job counts.
+    pub fn quick(&self) -> Scenario {
+        let mut s = self.clone();
+        s.params.duration_s = s.params.duration_s.min(120.0);
+        s.params.period_s = s.params.period_s.min(120.0);
+        s.trials = 1;
+        s
+    }
+
+    /// Synthesizes this scenario's tenant traces for one trial —
+    /// derived from `(seed, trial)` alone, so every backend of the
+    /// sweep sees identical load.
+    pub fn tenant_loads(&self, trial: u64) -> Vec<TenantLoad> {
+        let mut rng = DetRng::new(self.seed).derive(TRACE_STREAM).derive(trial);
+        self.workload.generate(&self.params, &mut rng)
+    }
+
+    /// Jitter seed of host `tag` (host index, or [`TEMPLATE_TAG`]).
+    pub(crate) fn host_seed(&self, tag: u64) -> u64 {
+        DetRng::new(self.seed).derive(HOST_SEED_BASE + tag).seed()
+    }
+
+    /// Seed of the router's probe stream for one trial.
+    pub fn router_seed(&self, trial: u64) -> u64 {
+        DetRng::new(self.seed).derive(trial).seed()
+    }
+
+    /// Seed of the fleet's own streams (crash plan, reservoir) for one
+    /// trial.
+    pub(crate) fn fleet_seed(&self, trial: u64) -> u64 {
+        DetRng::new(self.seed)
+            .derive(FLEET_STREAM)
+            .derive(trial)
+            .seed()
+    }
+
+    /// The per-host base config every multi-host topology clones:
+    /// deployment slots for each tenant, arrivals left empty (the
+    /// cluster/fleet owns the traces).
+    pub(crate) fn host_config(
+        &self,
+        tenants: &[TenantLoad],
+        backend: BackendKind,
+        seed: u64,
+        trial: u64,
+    ) -> SimConfig {
+        SimConfig {
+            backend,
+            harvest: HarvestConfig::default(),
+            vms: vec![crate::config::VmSpec {
+                deployments: tenants
+                    .iter()
+                    .map(|t| crate::config::Deployment {
+                        kind: t.kind,
+                        concurrency: self.concurrency,
+                        arrivals: Vec::new(),
+                    })
+                    .collect(),
+                vcpus: None,
+            }],
+            host_capacity: self.host_capacity,
+            keepalive_s: self.keepalive_s,
+            duration_s: self.params.duration_s,
+            sample_period_s: 1.0,
+            unplug_deadline_ms: 5_000,
+            record_latency_points: false,
+            seed,
+            trial,
+        }
+    }
+
+    /// Effective per-function SLO targets: [`default_slos`] over the
+    /// workload's function kinds, with this spec's overrides applied.
+    pub fn effective_slos(
+        &self,
+        kinds: impl IntoIterator<Item = FunctionKind>,
+    ) -> Vec<(FunctionKind, f64)> {
+        let mut slos = default_slos(kinds);
+        for &(kind, target) in &self.slo {
+            match slos.iter_mut().find(|(k, _)| *k == kind) {
+                Some(entry) => entry.1 = target,
+                None => slos.push((kind, target)),
+            }
+        }
+        slos
+    }
+
+    /// Runs one `(backend, trial)` cell on the topology's simulator.
+    ///
+    /// This is the composable core [`Scenario::run`] loops over; grid
+    /// experiments (`bench::cluster`, `bench::fleet`) call it directly
+    /// from their own sweep engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host fails to boot (e.g. `host_capacity` smaller
+    /// than the VMs' boot memory) — the same contract as constructing
+    /// the simulators by hand.
+    pub fn run_trial(&self, backend: BackendKind, trial: u64) -> ScenarioOutcome {
+        let duration_s = self.params.duration_s;
+        let offered_of = |arrivals: &[f64]| arrivals.iter().filter(|&&a| a < duration_s).count();
+        match self.topology {
+            Topology::SingleVm => {
+                let cfg = SimConfig::from_scenario(self, backend, trial);
+                let offered: usize = cfg
+                    .vms
+                    .iter()
+                    .flat_map(|v| &v.deployments)
+                    .map(|d| offered_of(&d.arrivals))
+                    .sum();
+                let result = FaasSim::new(cfg).expect("scenario host boots").run();
+                ScenarioOutcome::from_sim(backend, trial, offered as u64, result)
+            }
+            Topology::Cluster(_) => {
+                let cfg = ClusterConfig::from_scenario(self, backend, trial);
+                let offered: usize = cfg.tenants.iter().map(|t| offered_of(&t.arrivals)).sum();
+                let router = self.router.build(self.router_seed(trial));
+                let result = ClusterSim::new(cfg, router)
+                    .expect("scenario hosts boot")
+                    .run();
+                ScenarioOutcome::from_cluster(backend, trial, offered as u64, result)
+            }
+            Topology::Fleet => {
+                let cfg = FleetConfig::from_scenario(self, backend, trial);
+                let offered: usize = cfg.tenants.iter().map(|t| offered_of(&t.arrivals)).sum();
+                let router = self.router.build(self.router_seed(trial));
+                let result = FleetSim::new(cfg, router, self.policy.build())
+                    .expect("scenario fleet boots")
+                    .run();
+                ScenarioOutcome::from_fleet(backend, trial, offered as u64, result)
+            }
+        }
+    }
+
+    /// Runs the whole scenario — every backend of the sweep × every
+    /// trial — through the experiment engine (`opts.jobs` shards the
+    /// grid; output is byte-identical for any job count) and returns
+    /// the unified result.
+    ///
+    /// `opts.trials > 1` overrides the spec's own trial count.
+    pub fn run(&self, opts: &ExpOpts) -> Result<ScenarioResult, String> {
+        self.validate()?;
+        let trials = if opts.trials > 1 {
+            opts.trials
+        } else {
+            self.trials
+        };
+        struct Exp<'a> {
+            spec: &'a Scenario,
+            trials: u32,
+        }
+        impl Experiment for Exp<'_> {
+            type Point = BackendKind;
+            type Output = ScenarioOutcome;
+
+            fn points(&self) -> Vec<BackendKind> {
+                self.spec.backends.clone()
+            }
+
+            fn trials(&self) -> u32 {
+                self.trials
+            }
+
+            fn seed(&self) -> u64 {
+                self.spec.seed
+            }
+
+            fn run_trial(&self, &backend: &BackendKind, ctx: &mut TrialCtx) -> ScenarioOutcome {
+                self.spec.run_trial(backend, ctx.trial)
+            }
+        }
+        let grouped = run_experiment(&Exp { spec: self, trials }, opts.effective_jobs());
+        Ok(ScenarioResult {
+            spec: self.clone(),
+            cells: self.backends.iter().copied().zip(grouped).collect(),
+        })
+    }
+}
+
+/// The registry listing `repro scenarios` prints: every name the spec
+/// format resolves, with one-line workload descriptions and the full
+/// key set.
+pub fn registry_help() -> String {
+    let mut out = String::from("Scenario registry — the names a spec file may use\n\n");
+    out.push_str("topologies:  single-vm, cluster(N), fleet\n");
+    out.push_str("workloads:\n");
+    for w in WorkloadKind::ALL {
+        out.push_str(&format!("  {:<13} {}\n", w.key(), w.describe()));
+    }
+    let keys = |items: Vec<&'static str>| items.join(", ");
+    out.push_str(&format!(
+        "backends:    {}\n",
+        keys(BackendKind::ALL.iter().map(|b| b.key()).collect())
+    ));
+    out.push_str(&format!(
+        "routers:     {}\n",
+        keys(RouterKind::ALL.iter().map(|r| r.key()).collect())
+    ));
+    out.push_str(&format!(
+        "policies:    {}\n",
+        keys(PolicyKind::ALL.iter().map(|p| p.key()).collect())
+    ));
+    out.push_str("\nspec keys (line-oriented `key = value`, `#` comments):\n  ");
+    out.push_str(&format::KEYS.join(", "));
+    out.push_str("\n  plus per-function SLO overrides: ");
+    let slo_keys: Vec<String> = FunctionKind::ALL
+        .iter()
+        .map(|k| format!("slo.{}", k.key()))
+        .collect();
+    out.push_str(&slo_keys.join(", "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_keys_round_trip() {
+        for t in [Topology::SingleVm, Topology::Cluster(7), Topology::Fleet] {
+            assert_eq!(Topology::from_key(&t.key()), Ok(t));
+        }
+        assert!(Topology::from_key("cluster(x)").is_err());
+        assert!(Topology::from_key("mesh").unwrap_err().contains("fleet"));
+    }
+
+    #[test]
+    fn validate_collects_every_problem() {
+        let mut s = Scenario::new("bad", Topology::Fleet, WorkloadKind::Diurnal);
+        s.params.rps = -1.0;
+        s.params.trough_rps = 5.0;
+        s.min_hosts = 3;
+        s.max_hosts = 2;
+        s.trials = 0;
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("rps must be positive"), "{err}");
+        assert!(
+            err.contains("max_hosts (2) must be ≥ min_hosts (3)"),
+            "{err}"
+        );
+        assert!(err.contains("trials must be ≥ 1"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unroundtrippable_names_and_tag_collisions() {
+        let mut s = Scenario::new(" padded ", Topology::Cluster(56), WorkloadKind::ZipfCluster);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("without leading/trailing whitespace"), "{err}");
+        assert!(err.contains("cluster size must be ≤ 32"), "{err}");
+        s = Scenario::new("multi\nline", Topology::Fleet, WorkloadKind::Diurnal);
+        s.max_hosts = 63;
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("single-line"), "{err}");
+        assert!(err.contains("max_hosts must be ≤ 32"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults() {
+        for topo in [Topology::SingleVm, Topology::Cluster(2), Topology::Fleet] {
+            for w in WorkloadKind::ALL {
+                Scenario::new("ok", topo, w).validate().expect("valid");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_caps_duration_and_trials() {
+        let mut s = Scenario::new("q", Topology::Fleet, WorkloadKind::Diurnal);
+        s.params.duration_s = 600.0;
+        s.params.period_s = 600.0;
+        s.trials = 5;
+        let q = s.quick();
+        assert_eq!(q.params.duration_s, 120.0);
+        assert_eq!(q.params.period_s, 120.0, "quick still sees a full cycle");
+        assert_eq!(q.trials, 1);
+        // Already-small durations are untouched.
+        let mut small = Scenario::new("s", Topology::SingleVm, WorkloadKind::AzureTrace);
+        small.params.duration_s = 60.0;
+        small.params.period_s = 60.0;
+        assert_eq!(small.quick(), small);
+    }
+
+    #[test]
+    fn traces_are_paired_across_backends_and_independent_across_trials() {
+        let s = Scenario::new("t", Topology::Cluster(2), WorkloadKind::ZipfCluster);
+        let a = s.tenant_loads(0);
+        let b = s.tenant_loads(0);
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.arrivals, tb.arrivals);
+        }
+        let c = s.tenant_loads(1);
+        assert_ne!(
+            a.iter().map(|t| t.arrivals.len()).sum::<usize>(),
+            usize::MAX,
+            "sanity"
+        );
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.arrivals != y.arrivals),
+            "trials draw distinct traces"
+        );
+    }
+
+    #[test]
+    fn effective_slos_apply_overrides() {
+        let mut s = Scenario::new("slo", Topology::Fleet, WorkloadKind::Diurnal);
+        s.slo = vec![(FunctionKind::Html, 99.0)];
+        let slos = s.effective_slos([FunctionKind::Html, FunctionKind::Cnn]);
+        let get = |k| slos.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        assert_eq!(get(FunctionKind::Html), 99.0, "override wins");
+        assert!(get(FunctionKind::Cnn) > 300.0, "default kept");
+    }
+
+    #[test]
+    fn registry_help_lists_everything() {
+        let help = registry_help();
+        for needle in [
+            "single-vm",
+            "cluster(N)",
+            "fleet",
+            "diurnal",
+            "squeezy-soft",
+            "power-of-two",
+            "slam-slo",
+            "host_capacity",
+            "slo.bert",
+        ] {
+            assert!(help.contains(needle), "missing {needle} in:\n{help}");
+        }
+    }
+}

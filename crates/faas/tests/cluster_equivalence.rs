@@ -16,13 +16,7 @@ use sim_core::DetRng;
 use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
 
 fn random_config(rng: &mut DetRng) -> SimConfig {
-    let backends = [
-        BackendKind::Static,
-        BackendKind::VirtioMem,
-        BackendKind::HarvestOpts,
-        BackendKind::Squeezy,
-        BackendKind::SqueezySoft,
-    ];
+    let backends = BackendKind::ALL;
     let backend = backends[rng.range(0, backends.len() as u64) as usize];
     let kinds = [FunctionKind::Html, FunctionKind::Cnn, FunctionKind::Bfs];
     let duration_s = 120.0;

@@ -20,13 +20,7 @@ use sim_core::DetRng;
 use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
 
 fn random_host(rng: &mut DetRng, tenants: usize, duration_s: f64) -> SimConfig {
-    let backends = [
-        BackendKind::Static,
-        BackendKind::VirtioMem,
-        BackendKind::HarvestOpts,
-        BackendKind::Squeezy,
-        BackendKind::SqueezySoft,
-    ];
+    let backends = BackendKind::ALL;
     let kinds = [FunctionKind::Html, FunctionKind::Cnn, FunctionKind::Bfs];
     SimConfig {
         backend: backends[rng.range(0, backends.len() as u64) as usize],

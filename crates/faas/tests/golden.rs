@@ -14,14 +14,6 @@ use faas::{BackendKind, Deployment, FaasSim, HarvestConfig, SimConfig, VmSpec};
 use mem_types::{GIB, MIB};
 use workloads::FunctionKind;
 
-const ALL_BACKENDS: [BackendKind; 5] = [
-    BackendKind::Static,
-    BackendKind::VirtioMem,
-    BackendKind::HarvestOpts,
-    BackendKind::Squeezy,
-    BackendKind::SqueezySoft,
-];
-
 /// An unconstrained host: cold/warm starts, keep-alive evictions and
 /// backend reclaims, no memory pressure.
 fn ample(backend: BackendKind) -> SimConfig {
@@ -84,7 +76,7 @@ fn tight(backend: BackendKind) -> SimConfig {
 }
 
 fn digest_table(make: fn(BackendKind) -> SimConfig) -> String {
-    ALL_BACKENDS
+    BackendKind::ALL
         .iter()
         .map(|&b| {
             let result = FaasSim::new(make(b)).expect("boot").run();

@@ -1,0 +1,141 @@
+//! Property: `Scenario::parse(s.render()) == s` for every valid
+//! scenario — the spec format loses nothing, whatever combination of
+//! topology, backend sweep, workload, knobs and SLO overrides a
+//! scenario carries (floats at full bit precision included).
+
+use faas::{BackendKind, PolicyKind, RouterKind, Scenario, Topology};
+use mem_types::{GIB, MIB};
+use proptest::prelude::*;
+use workloads::{FunctionKind, WorkloadKind};
+
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (0u8..1).prop_map(|_| Topology::SingleVm),
+        (1usize..6).prop_map(Topology::Cluster),
+        (0u8..1).prop_map(|_| Topology::Fleet),
+    ]
+}
+
+/// A non-empty, duplicate-free backend sweep: the bits of a 5-bit
+/// mask, in registry order.
+fn backends_strategy() -> impl Strategy<Value = Vec<BackendKind>> {
+    (1u8..32).prop_map(|mask| {
+        BackendKind::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, b)| b)
+            .collect()
+    })
+}
+
+/// SLO overrides as a 4-bit mask over the function kinds (canonical
+/// order) with one arbitrary positive target each.
+fn slo_strategy() -> impl Strategy<Value = Vec<(FunctionKind, f64)>> {
+    (0u8..16, 10.0f64..5000.0, 10.0f64..5000.0, 10.0f64..5000.0).prop_map(|(mask, a, b, c)| {
+        let targets = [a, b, c, (a + b) / 2.0];
+        FunctionKind::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(i, k)| (k, targets[i]))
+            .collect()
+    })
+}
+
+fn capacity_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (1u64..17).prop_map(|g| g * GIB),
+        (256u64..8192).prop_map(|m| m * MIB),
+        // Raw odd byte counts exercise the no-suffix render path.
+        (1_000_000u64..1 << 40).prop_map(|b| b | 1),
+    ]
+}
+
+#[allow(clippy::type_complexity)]
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    // The proptest shim supports tuples up to arity 4, so the field
+    // space is sampled as a tuple-of-tuples and assembled by hand.
+    let shape = (
+        topology_strategy(),
+        backends_strategy(),
+        0usize..5,
+        slo_strategy(),
+    );
+    let load = (1u64..9, 1.0f64..600.0, 0.5f64..20.0, 0.01f64..1.0);
+    let tide = (5.0f64..900.0, 0.0f64..2.0, 1.0f64..4.0, 0.0f64..0.9);
+    let host = (1u64..5, 0.0f64..90.0, capacity_strategy(), 0u64..5);
+    let fleet = (1u64..4, 0u64..4, 1.0f64..40.0, 0.0f64..40.0);
+    let rest = (0.0f64..300.0, any::<u64>(), 1u64..5, 0u64..4);
+    ((shape, load), (tide, host), (fleet, rest)).prop_map(
+        |(
+            ((topology, backends, workload_idx, slo), (tenants, duration_s, rps, trough_frac)),
+            (
+                (period_s, zipf_exponent, burst_factor, burst_duty),
+                (concurrency, keepalive_s, host_capacity, router_idx),
+            ),
+            (
+                (min_hosts, extra_hosts, boot_delay_s, cooldown_s),
+                (mtbf_s, seed, trials, policy_idx),
+            ),
+        )| {
+            let workload = WorkloadKind::ALL[workload_idx];
+            let mut s = Scenario::new("prop-scenario", topology, workload);
+            s.backends = backends;
+            s.params.tenants = tenants as usize;
+            s.params.duration_s = duration_s;
+            s.params.rps = rps;
+            // Any fraction of the peak keeps trough ≤ rps valid.
+            s.params.trough_rps = rps * trough_frac;
+            s.params.period_s = period_s;
+            s.params.zipf_exponent = zipf_exponent;
+            s.params.burst_factor = burst_factor;
+            s.params.burst_duty = burst_duty;
+            s.concurrency = concurrency as u32;
+            s.keepalive_s = keepalive_s;
+            s.host_capacity = host_capacity;
+            s.router = RouterKind::ALL[router_idx as usize];
+            s.policy = PolicyKind::ALL[policy_idx as usize];
+            s.min_hosts = min_hosts as usize;
+            s.max_hosts = (min_hosts + extra_hosts) as usize;
+            s.boot_delay_s = boot_delay_s;
+            s.cooldown_s = cooldown_s;
+            s.mtbf_s = mtbf_s;
+            s.slo = slo;
+            s.seed = seed;
+            s.trials = trials as u32;
+            // Names ride on the seed draw: spaces, '=' and '#' inside
+            // a value are all legal and must round-trip.
+            const NAMES: [&str; 4] = [
+                "prop-scenario",
+                "two words",
+                "x=y #tricky",
+                "dots.and-dashes_9",
+            ];
+            s.name = NAMES[(seed % 4) as usize].to_string();
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_render_round_trips(s in scenario_strategy()) {
+        prop_assert!(s.validate().is_ok(), "generator only makes valid scenarios");
+        let text = s.render();
+        let back = Scenario::parse(&text)
+            .unwrap_or_else(|e| panic!("render produced an unparsable spec:\n{text}\n{e}"));
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn render_is_canonical(s in scenario_strategy()) {
+        // Rendering the parsed scenario reproduces the text exactly:
+        // render ∘ parse ∘ render = render.
+        let text = s.render();
+        let again = Scenario::parse(&text).expect("parses").render();
+        prop_assert_eq!(again, text);
+    }
+}

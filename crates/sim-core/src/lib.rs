@@ -19,6 +19,7 @@
 //!   bench harness runs on: sweep grids, per-trial RNG stream derivation
 //!   and a parallel runner whose results are bit-identical to the serial
 //!   path.
+//! * [`table`] — aligned plain-text tables for experiment reports.
 //!
 //! Each simulation is single-threaded and fully deterministic: the same
 //! seed regenerates the same figures bit-for-bit, and the experiment
@@ -29,13 +30,16 @@ pub mod cpu;
 pub mod events;
 pub mod experiment;
 pub mod metrics;
+pub mod registry;
 pub mod rng;
+pub mod table;
 pub mod time;
 
 pub use cost::{CostModel, LatencyBreakdown};
 pub use cpu::{CpuPool, TaskId};
 pub use events::EventQueue;
 pub use experiment::{run_experiment, run_reduced, ExpOpts, Experiment, Summary, TrialCtx};
-pub use metrics::{BusyRecorder, Histogram, Reservoir, TimeSeries};
+pub use metrics::{fnv1a, BusyRecorder, Fnv1a, Histogram, Reservoir, TimeSeries};
 pub use rng::DetRng;
+pub use table::TextTable;
 pub use time::{SimDuration, SimTime};

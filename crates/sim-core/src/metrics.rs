@@ -376,6 +376,62 @@ impl BusyRecorder {
     }
 }
 
+/// An incremental 64-bit FNV-1a hasher.
+///
+/// The single shared digest primitive of the workspace: result digests
+/// (`faas::SimResult::digest`), the `repro` CLI's per-section output
+/// digests and the scenario-equivalence tests all feed this hasher, so
+/// "byte-identical" means the same thing everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01B3;
+
+    /// Starts a fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET_BASIS)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs one `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs one `f64` at full bit precision.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Returns the digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// FNV-1a digest of a string in one call (the `repro` CLI's
+/// section-output digest).
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
 /// Returns the arithmetic mean of `xs` (0 if empty).
 ///
 /// The single shared definition of "mean" used by the bench tables, so
@@ -585,5 +641,27 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!((d[0].1 - 2.0).abs() < 1e-9, "mean of 1 and 3");
         assert!((d[1].1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a("foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv1a_incremental_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a("foobar"));
+        // write_u64 is the little-endian byte expansion.
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
     }
 }

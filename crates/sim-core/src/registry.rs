@@ -1,0 +1,52 @@
+//! The one string-registry lookup every keyed enum shares.
+//!
+//! Scenario specs resolve five registries (workloads, backends,
+//! routers, policies, function kinds) by string key; each enum keeps
+//! its own `ALL` array and `key()` accessor, and delegates the lookup
+//! — and the "unknown X (valid: ...)" error shape — here, so a typo'd
+//! spec always answers with the full list of what it could have said.
+
+/// Finds the entry of `all` whose `key_of` equals `key`; `Err` names
+/// the registry (`what`) and lists every valid key.
+pub fn lookup<T: Copy>(
+    what: &str,
+    all: &[T],
+    key_of: impl Fn(T) -> &'static str,
+    key: &str,
+) -> Result<T, String> {
+    all.iter()
+        .copied()
+        .find(|&t| key_of(t) == key)
+        .ok_or_else(|| {
+            let valid: Vec<&str> = all.iter().map(|&t| key_of(t)).collect();
+            format!("unknown {what} {key:?} (valid: {})", valid.join(", "))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum Color {
+        Red,
+        Blue,
+    }
+
+    impl Color {
+        fn key(self) -> &'static str {
+            match self {
+                Color::Red => "red",
+                Color::Blue => "blue",
+            }
+        }
+    }
+
+    #[test]
+    fn finds_by_key_and_lists_valid_on_miss() {
+        let all = [Color::Red, Color::Blue];
+        assert_eq!(lookup("color", &all, Color::key, "blue"), Ok(Color::Blue));
+        let err = lookup("color", &all, Color::key, "green").unwrap_err();
+        assert_eq!(err, "unknown color \"green\" (valid: red, blue)");
+    }
+}

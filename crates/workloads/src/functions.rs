@@ -44,6 +44,23 @@ impl FunctionKind {
         }
     }
 
+    /// Lowercase registry key used by scenario spec files
+    /// (`slo.html = 500`).
+    pub fn key(self) -> &'static str {
+        match self {
+            FunctionKind::Html => "html",
+            FunctionKind::Cnn => "cnn",
+            FunctionKind::Bfs => "bfs",
+            FunctionKind::Bert => "bert",
+        }
+    }
+
+    /// Looks a function up by its registry key; `Err` carries the full
+    /// list of valid keys.
+    pub fn from_key(key: &str) -> Result<FunctionKind, String> {
+        sim_core::registry::lookup("function", &FunctionKind::ALL, FunctionKind::key, key)
+    }
+
     /// Returns the full resource/behaviour profile.
     pub fn profile(self) -> FunctionProfile {
         match self {

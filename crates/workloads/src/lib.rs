@@ -7,12 +7,15 @@
 //! * [`trace`] — Azure-like bursty invocation trace synthesis;
 //! * [`cluster`] — Zipf-skewed multi-tenant mixes for the cluster
 //!   simulator;
-//! * [`churn`] — the Figure-2 creations/evictions-per-minute analysis.
+//! * [`churn`] — the Figure-2 creations/evictions-per-minute analysis;
+//! * [`registry`] — the named workload registry the scenario specs
+//!   resolve against (`workload = diurnal`).
 
 pub mod churn;
 pub mod cluster;
 pub mod functions;
 pub mod memhog;
+pub mod registry;
 pub mod trace;
 
 pub use churn::{analyze_churn, ChurnResult, MinuteChurn};
@@ -22,4 +25,5 @@ pub use cluster::{
 };
 pub use functions::{FunctionKind, FunctionProfile};
 pub use memhog::Memhog;
+pub use registry::{WorkloadKind, WorkloadParams};
 pub use trace::{bursty_arrivals, zipf_function_traces, BurstyTraceConfig};

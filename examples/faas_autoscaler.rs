@@ -1,69 +1,51 @@
-//! Drives the FaaS runtime model with a bursty trace on a Squeezy-backed
-//! N:1 VM and prints the elasticity timeline: instances, guest memory,
-//! host memory, and the reclaim statistics.
+//! Drives the FaaS runtime through the declarative scenario front
+//! door: the whole experiment — workload, topology, backend sweep,
+//! duration, seed — is the spec string below, not hand-wired configs.
+//! Edit the string (or load a `.scn` file with
+//! `std::fs::read_to_string`) and re-run; no other code changes.
 //!
 //! ```text
 //! cargo run --release --example faas_autoscaler
 //! ```
 
-use faas::{BackendKind, Deployment, FaasSim, SimConfig};
-use sim_core::{DetRng, SimDuration};
-use workloads::{bursty_arrivals, BurstyTraceConfig, FunctionKind};
+use faas::Scenario;
+use sim_core::ExpOpts;
+
+const SPEC: &str = "\
+# A bursty CNN-and-friends service on one N:1 VM, Squeezy against the
+# static baseline under identical traces.
+name = autoscaler-demo
+topology = single-vm
+backend = static, squeezy
+workload = azure-trace
+tenants = 1
+rps = 2.5
+duration_s = 240.0
+concurrency = 10
+keepalive_s = 30.0
+host_capacity = 16GiB
+seed = 7
+";
 
 fn main() {
-    let mut rng = DetRng::new(7);
-    let arrivals = bursty_arrivals(
-        &BurstyTraceConfig {
-            duration_s: 240.0,
-            base_rps: 0.5,
-            burst_rps: 10.0,
-            mean_burst_s: 20.0,
-            mean_idle_s: 30.0,
-        },
-        &mut rng,
-    );
-    println!("trace: {} CNN invocations over 240 s", arrivals.len());
+    let scenario = Scenario::parse(SPEC).expect("spec is valid");
+    println!("spec (canonical render):\n\n{}", scenario.render());
 
-    let cfg = SimConfig {
-        keepalive_s: 30.0,
-        ..SimConfig::single_vm(
-            BackendKind::Squeezy,
-            Deployment {
-                kind: FunctionKind::Cnn,
-                concurrency: 10,
-                arrivals,
-            },
-            240.0,
-        )
-    };
-    let mut result = FaasSim::new(cfg).expect("boot").run();
+    let result = scenario.run(&ExpOpts::auto()).expect("scenario runs");
+    println!("{}", result.render());
 
-    println!("\n  t(s)  #inst  guest(GiB)  host(GiB)");
-    let insts = result.instance_counts[0].downsample(SimDuration::secs(10));
-    let guest = result.guest_usage[0].downsample(SimDuration::secs(10));
-    let host = result.host_usage.downsample(SimDuration::secs(10));
-    for i in 0..insts.len().min(guest.len()).min(host.len()) {
+    // The unified result keeps per-cell detail: show what the
+    // elasticity bought, backend by backend.
+    for (backend, trials) in &result.cells {
+        let out = &trials[0];
         println!(
-            "  {:>4.0}  {:>5.0}  {:>10.2}  {:>9.2}",
-            insts[i].0,
-            insts[i].1,
-            guest[i].1 / (1u64 << 30) as f64,
-            host[i].1 / (1u64 << 30) as f64,
+            "{:<12} {:>4} served, {:>3} cold / {:>3} warm, {:>7.1} GiB*s, p99 {:>5.0} ms",
+            backend.name(),
+            out.completed,
+            out.cold_starts,
+            out.warm_starts,
+            out.gib_seconds,
+            out.merged_latency().p99(),
         );
     }
-
-    let m = &result.per_func[&FunctionKind::Cnn];
-    let reclaims = result.total_reclaims();
-    println!(
-        "\nserved {} requests ({} cold, {} warm)",
-        result.completed, m.cold_starts, m.warm_starts
-    );
-    println!(
-        "reclaimed {} MiB in {} operations at {:.0} MiB/s — zero migrations: {}",
-        reclaims.bytes >> 20,
-        reclaims.ops,
-        reclaims.throughput_mibs(),
-        reclaims.pages_migrated == 0,
-    );
-    println!("P99 latency: {:.0} ms", result.p99_ms(FunctionKind::Cnn));
 }
