@@ -34,7 +34,7 @@ use squeezy_bench as bench;
 
 /// Every target the CLI accepts, in help order. Unknown targets are
 /// rejected at parse time against this list.
-const TARGETS: [&str; 20] = [
+const TARGETS: [&str; 21] = [
     "all",
     "table1",
     "fig1",
@@ -53,6 +53,7 @@ const TARGETS: [&str; 20] = [
     "hybrid",
     "cluster",
     "fleet",
+    "perf",
     "run",
     "scenarios",
 ];
@@ -384,6 +385,29 @@ fn main() {
             bench::fleet::render(&bench::fleet::run_with(&cfg, &opts))
         }),
     );
+    // The perf target is wall-time-dependent by design (events/sec),
+    // so it is NOT part of `all` — the `all` report stays byte-stable
+    // across machines. The cell is captured for the JSON summary.
+    let perf_cell: std::sync::Arc<std::sync::Mutex<Option<bench::perf::PerfCell>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(None));
+    {
+        let perf_cell = perf_cell.clone();
+        add(
+            "Perf",
+            args.what == "perf",
+            Box::new(move || {
+                let cfg = if quick {
+                    bench::perf::PerfConfig::quick()
+                } else {
+                    bench::perf::PerfConfig::paper()
+                };
+                let cell = bench::perf::run(&cfg);
+                let text = bench::perf::render(&cell);
+                *perf_cell.lock().expect("perf cell lock") = Some(cell);
+                text
+            }),
+        );
+    }
     add(
         "Ablation: hybrid scaling",
         all || args.what == "hybrid",
@@ -427,7 +451,8 @@ fn main() {
     );
 
     if let Some(path) = args.json {
-        let json = to_json(&sections, total_s, quick, &opts);
+        let perf = perf_cell.lock().expect("perf cell lock");
+        let json = to_json(&sections, total_s, quick, &opts, perf.as_ref());
         std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         eprintln!("[repro] wrote {path}");
     }
@@ -451,13 +476,34 @@ fn json_escape(s: &str) -> String {
 
 /// Serializes the run summary (no external crates: the schema is flat
 /// and the only free-form strings — section names — are escaped).
-fn to_json(sections: &[Section], total_s: f64, quick: bool, opts: &ExpOpts) -> String {
+fn to_json(
+    sections: &[Section],
+    total_s: f64,
+    quick: bool,
+    opts: &ExpOpts,
+    perf: Option<&bench::perf::PerfCell>,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"suite\": \"squeezy-repro\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"jobs\": {},\n", opts.effective_jobs()));
     s.push_str(&format!("  \"trials\": {},\n", opts.trials));
     s.push_str(&format!("  \"total_wall_s\": {total_s:.3},\n"));
+    if let Some(p) = perf {
+        s.push_str(&format!(
+            "  \"perf\": {{\"hosts\": {}, \"invocations\": {}, \"completed\": {}, \
+             \"events_processed\": {}, \"peak_queue_depth\": {}, \"setup_wall_s\": {:.3}, \
+             \"run_wall_s\": {:.3}, \"events_per_sec\": {:.0}}},\n",
+            p.hosts,
+            p.invocations,
+            p.completed,
+            p.events,
+            p.peak_depth,
+            p.setup_s,
+            p.run_s,
+            p.events_per_sec
+        ));
+    }
     s.push_str("  \"sections\": [\n");
     for (i, sec) in sections.iter().enumerate() {
         s.push_str(&format!(

@@ -22,6 +22,7 @@ pub mod fig9;
 pub mod fleet;
 pub mod fpr;
 pub mod hybrid;
+pub mod perf;
 pub mod setup;
 pub mod soft;
 pub mod table;

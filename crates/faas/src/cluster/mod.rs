@@ -173,6 +173,11 @@ pub struct ClusterResult {
     /// whole cluster — time-resolved latency for long runs without
     /// per-request memory (see [`LATENCY_RESERVOIR_CAP`]).
     pub latency_over_time: Reservoir,
+    /// Total events the shared engine popped (the events/sec numerator
+    /// of `repro perf`).
+    pub events_processed: u64,
+    /// High-water mark of the shared event queue.
+    pub peak_queue_depth: usize,
 }
 
 impl ClusterResult {
@@ -269,15 +274,29 @@ impl ClusterSim {
 
     /// Runs the cluster to completion.
     pub fn run(mut self) -> ClusterResult {
+        // One reusable snapshot buffer instead of a fresh Vec per
+        // arrival; load-blind routers (see [`Router::needs_loads`])
+        // skip the O(hosts) snapshot entirely and only see the slice's
+        // length, which the placeholder entries preserve.
+        let needs_loads = self.router.needs_loads();
+        let mut loads: Vec<HostLoad> = vec![
+            HostLoad {
+                warm_idle: 0,
+                alive: 0,
+                queued: 0,
+                active: 0,
+                free_bytes: 0,
+            };
+            self.hosts.len()
+        ];
         while let Some((now, ev)) = self.events.pop() {
             let touched = match ev {
                 ClusterEvent::Incoming { tenant } => {
                     let t = &self.tenants[tenant];
-                    let loads: Vec<HostLoad> = self
-                        .hosts
-                        .iter()
-                        .map(|h| h.load_snapshot(t.vm, t.dep))
-                        .collect();
+                    if needs_loads {
+                        loads.clear();
+                        loads.extend(self.hosts.iter().map(|h| h.load_snapshot(t.vm, t.dep)));
+                    }
                     let h = self.router.route(tenant, &loads);
                     assert!(
                         h < self.hosts.len(),
@@ -306,6 +325,8 @@ impl ClusterSim {
                 self.latency_over_time.offer(arrival_s, latency_ms);
             }
         }
+        let events_processed = self.events.processed();
+        let peak_queue_depth = self.events.peak_len();
         let hosts: Vec<SimResult> = self.hosts.into_iter().map(HostSim::finish).collect();
         let completed = hosts.iter().map(|h| h.completed).sum();
         ClusterResult {
@@ -313,6 +334,8 @@ impl ClusterSim {
             routed: self.routed,
             completed,
             latency_over_time: self.latency_over_time,
+            events_processed,
+            peak_queue_depth,
         }
     }
 }

@@ -40,6 +40,15 @@ pub trait Router {
     /// Display name used in result tables.
     fn name(&self) -> &'static str;
 
+    /// Whether [`route`](Router::route) reads the load snapshots.
+    /// Policies that ignore them (round-robin, single-host) return
+    /// `false`, and the simulators skip the O(hosts) snapshot per
+    /// arrival — the snapshots' *contents* never reach such a policy,
+    /// so the routing decisions (and the run) are unchanged.
+    fn needs_loads(&self) -> bool {
+        true
+    }
+
     /// Returns the index of the host that serves this request.
     /// `hosts` is never empty; the returned index must be in range.
     fn route(&mut self, tenant: usize, hosts: &[HostLoad]) -> usize;
@@ -104,6 +113,10 @@ impl Router for SingleHost {
         "single-host"
     }
 
+    fn needs_loads(&self) -> bool {
+        false
+    }
+
     fn route(&mut self, _tenant: usize, _hosts: &[HostLoad]) -> usize {
         0
     }
@@ -118,6 +131,10 @@ pub struct RoundRobin {
 impl Router for RoundRobin {
     fn name(&self) -> &'static str {
         "round-robin"
+    }
+
+    fn needs_loads(&self) -> bool {
+        false
     }
 
     fn route(&mut self, _tenant: usize, hosts: &[HostLoad]) -> usize {

@@ -58,6 +58,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
+    processed: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,6 +75,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            processed: 0,
+            peak_len: 0,
         }
     }
 
@@ -96,6 +100,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
     }
 
     /// Pops the earliest event and advances the clock to its timestamp.
@@ -103,6 +110,7 @@ impl<E> EventQueue<E> {
         let s = self.heap.pop()?;
         debug_assert!(s.at >= self.now);
         self.now = s.at;
+        self.processed += 1;
         Some((s.at, s.event))
     }
 
@@ -119,6 +127,17 @@ impl<E> EventQueue<E> {
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events popped over the queue's lifetime (the events/sec
+    /// numerator of `repro perf`).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// High-water mark of pending events.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
