@@ -142,7 +142,11 @@ pub struct PerfCell {
 /// Runs the pinned scenario once, single-threaded, and times it.
 pub fn run(cfg: &PerfConfig) -> PerfCell {
     let cluster = cfg.cluster();
-    let invocations: u64 = cluster.tenants.iter().map(|t| t.arrivals.len() as u64).sum();
+    let invocations: u64 = cluster
+        .tenants
+        .iter()
+        .map(|t| t.arrivals.len() as u64)
+        .sum();
     let t0 = Instant::now();
     let sim = ClusterSim::new(cluster, Box::new(RoundRobin::default())).expect("hosts boot");
     let setup_s = t0.elapsed().as_secs_f64();

@@ -289,40 +289,46 @@ impl ClusterSim {
             };
             self.hosts.len()
         ];
-        while let Some((now, ev)) = self.events.pop() {
-            let touched = match ev {
-                ClusterEvent::Incoming { tenant } => {
-                    let t = &self.tenants[tenant];
-                    if needs_loads {
-                        loads.clear();
-                        loads.extend(self.hosts.iter().map(|h| h.load_snapshot(t.vm, t.dep)));
+        // Batched pops: one wheel advance serves every event of a tick,
+        // in the exact (time, seq) order sequential pops would yield.
+        let mut batch = Vec::new();
+        while let Some(now) = self.events.pop_batch(&mut batch) {
+            for ev in batch.drain(..) {
+                let touched = match ev {
+                    ClusterEvent::Incoming { tenant } => {
+                        let t = &self.tenants[tenant];
+                        if needs_loads {
+                            loads.clear();
+                            loads.extend(self.hosts.iter().map(|h| h.load_snapshot(t.vm, t.dep)));
+                        }
+                        let h = self.router.route(tenant, &loads);
+                        assert!(
+                            h < self.hosts.len(),
+                            "router returned host {h} of {}",
+                            self.hosts.len()
+                        );
+                        self.routed[h][tenant] += 1;
+                        let (vm, dep) = (t.vm, t.dep);
+                        let mut sink = HostSink {
+                            q: &mut self.events,
+                            host: h,
+                        };
+                        self.hosts[h].handle(now, Event::Arrival { vm, dep }, &mut sink);
+                        h
                     }
-                    let h = self.router.route(tenant, &loads);
-                    assert!(
-                        h < self.hosts.len(),
-                        "router returned host {h} of {}",
-                        self.hosts.len()
-                    );
-                    self.routed[h][tenant] += 1;
-                    let (vm, dep) = (t.vm, t.dep);
-                    let mut sink = HostSink {
-                        q: &mut self.events,
-                        host: h,
-                    };
-                    self.hosts[h].handle(now, Event::Arrival { vm, dep }, &mut sink);
-                    h
+                    ClusterEvent::Host { host, ev } => {
+                        let mut sink = HostSink {
+                            q: &mut self.events,
+                            host,
+                        };
+                        self.hosts[host].handle(now, ev, &mut sink);
+                        host
+                    }
+                };
+                for &(_, arrival_s, latency_ms) in self.hosts[touched].recent_latencies() {
+                    self.latency_over_time.offer(arrival_s, latency_ms);
                 }
-                ClusterEvent::Host { host, ev } => {
-                    let mut sink = HostSink {
-                        q: &mut self.events,
-                        host,
-                    };
-                    self.hosts[host].handle(now, ev, &mut sink);
-                    host
-                }
-            };
-            for (_, arrival_s, latency_ms) in self.hosts[touched].drain_recent_latencies() {
-                self.latency_over_time.offer(arrival_s, latency_ms);
+                self.hosts[touched].clear_recent_latencies();
             }
         }
         let events_processed = self.events.processed();

@@ -390,9 +390,17 @@ pub struct FleetSim {
     duration_s: f64,
     template: SimConfig,
     tenants: Vec<TenantTrace>,
-    /// `(vm, dep)` deployment slot → tenant index (crash requeueing).
-    tenant_of_slot: BTreeMap<(usize, usize), usize>,
+    /// `(vm, dep)` deployment slot → tenant index (crash requeueing),
+    /// flattened to direct indexing; `usize::MAX` marks unmapped slots.
+    tenant_of_slot: Vec<Vec<usize>>,
     router: Box<dyn Router>,
+    /// Cached [`Router::needs_loads`]: load-blind routers skip the
+    /// per-arrival snapshot sweep entirely.
+    router_needs_loads: bool,
+    /// Per-arrival routing scratch (reused, never reallocated in
+    /// steady state).
+    route_eligible: Vec<usize>,
+    route_loads: Vec<HostLoad>,
     policy: Box<dyn AutoscalePolicy>,
     opts: AutoscaleOpts,
     slo: Vec<(FunctionKind, f64)>,
@@ -489,12 +497,16 @@ impl FleetSim {
             );
         }
 
-        let tenant_of_slot = config
-            .tenants
-            .iter()
-            .enumerate()
-            .map(|(ti, t)| ((t.vm, t.dep), ti))
-            .collect();
+        let mut tenant_of_slot: Vec<Vec<usize>> = Vec::new();
+        for (ti, t) in config.tenants.iter().enumerate() {
+            if tenant_of_slot.len() <= t.vm {
+                tenant_of_slot.resize(t.vm + 1, Vec::new());
+            }
+            if tenant_of_slot[t.vm].len() <= t.dep {
+                tenant_of_slot[t.vm].resize(t.dep + 1, usize::MAX);
+            }
+            tenant_of_slot[t.vm][t.dep] = ti;
+        }
         let routed = vec![vec![0; config.tenants.len()]; hosts.len()];
         let mut active_hosts_over_time = TimeSeries::new();
         active_hosts_over_time.push(SimTime::ZERO, hosts.len() as f64);
@@ -503,7 +515,10 @@ impl FleetSim {
             template: config.template,
             tenants: config.tenants,
             tenant_of_slot,
+            router_needs_loads: router.needs_loads(),
             router,
+            route_eligible: Vec::new(),
+            route_loads: Vec::new(),
             policy,
             opts: config.autoscale,
             slo: config.slo,
@@ -529,26 +544,31 @@ impl FleetSim {
 
     /// Runs the fleet to completion.
     pub fn run(mut self) -> FleetResult {
-        while let Some((now, ev)) = self.events.pop() {
-            match ev {
-                FleetEvent::Incoming { tenant } => self.on_incoming(now, tenant),
-                FleetEvent::Host { host, ev } => {
-                    // Retired and failed hosts are gone: their residual
-                    // events (keep-alives, sample chains) evaporate.
-                    if !self.hosts[host].is_live() {
-                        continue;
+        // Batched pops: one wheel advance serves every event of a tick,
+        // in the exact (time, seq) order sequential pops would yield.
+        let mut batch = Vec::new();
+        while let Some(now) = self.events.pop_batch(&mut batch) {
+            for ev in batch.drain(..) {
+                match ev {
+                    FleetEvent::Incoming { tenant } => self.on_incoming(now, tenant),
+                    FleetEvent::Host { host, ev } => {
+                        // Retired and failed hosts are gone: their residual
+                        // events (keep-alives, sample chains) evaporate.
+                        if !self.hosts[host].is_live() {
+                            continue;
+                        }
+                        let mut sink = HostSink {
+                            q: &mut self.events,
+                            host,
+                        };
+                        self.hosts[host].sim.handle(now, ev, &mut sink);
+                        self.drain_tap(host);
+                        self.maybe_retire(now, host);
                     }
-                    let mut sink = HostSink {
-                        q: &mut self.events,
-                        host,
-                    };
-                    self.hosts[host].sim.handle(now, ev, &mut sink);
-                    self.drain_tap(host);
-                    self.maybe_retire(now, host);
+                    FleetEvent::Control => self.on_control(now),
+                    FleetEvent::HostReady { host } => self.on_host_ready(now, host),
+                    FleetEvent::Crash => self.on_crash(now),
                 }
-                FleetEvent::Control => self.on_control(now),
-                FleetEvent::HostReady { host } => self.on_host_ready(now, host),
-                FleetEvent::Crash => self.on_crash(now),
             }
         }
         let end = SimTime::ZERO + SimDuration::from_secs_f64(self.duration_s);
@@ -588,14 +608,15 @@ impl FleetSim {
 
     fn on_incoming(&mut self, now: SimTime, tenant: usize) {
         let t = &self.tenants[tenant];
-        let eligible: Vec<usize> = self
-            .hosts
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.state == HostState::Active)
-            .map(|(i, _)| i)
-            .collect();
-        if eligible.is_empty() {
+        self.route_eligible.clear();
+        self.route_eligible.extend(
+            self.hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.state == HostState::Active)
+                .map(|(i, _)| i),
+        );
+        if self.route_eligible.is_empty() {
             // No routable host. If capacity is provisioning — or the
             // control loop is still alive to provision some — park the
             // request briefly; otherwise it is genuinely unservable.
@@ -613,17 +634,34 @@ impl FleetSim {
             }
             return;
         }
-        let loads: Vec<HostLoad> = eligible
-            .iter()
-            .map(|&i| self.hosts[i].sim.load_snapshot(t.vm, t.dep))
-            .collect();
-        let r = self.router.route(tenant, &loads);
+        // Load-aware routers get fresh snapshots; load-blind ones only
+        // see the slice's length, which the placeholder entries keep.
+        self.route_loads.clear();
+        if self.router_needs_loads {
+            self.route_loads.extend(
+                self.route_eligible
+                    .iter()
+                    .map(|&i| self.hosts[i].sim.load_snapshot(t.vm, t.dep)),
+            );
+        } else {
+            self.route_loads.resize(
+                self.route_eligible.len(),
+                HostLoad {
+                    warm_idle: 0,
+                    alive: 0,
+                    queued: 0,
+                    active: 0,
+                    free_bytes: 0,
+                },
+            );
+        }
+        let r = self.router.route(tenant, &self.route_loads);
         assert!(
-            r < eligible.len(),
+            r < self.route_eligible.len(),
             "router returned host {r} of {}",
-            eligible.len()
+            self.route_eligible.len()
         );
-        let h = eligible[r];
+        let h = self.route_eligible[r];
         self.routed[h][tenant] += 1;
         let (vm, dep) = (t.vm, t.dep);
         let mut sink = HostSink {
@@ -641,7 +679,7 @@ impl FleetSim {
     /// policy's latency window.
     fn drain_tap(&mut self, host: usize) {
         let window_on = self.policy.period_s().is_some();
-        for (kind, arrival_s, latency_ms) in self.hosts[host].sim.drain_recent_latencies() {
+        for &(kind, arrival_s, latency_ms) in self.hosts[host].sim.recent_latencies() {
             self.latency_over_time.offer(arrival_s, latency_ms);
             if let Some(&(_, target)) = self.slo.iter().find(|(k, _)| *k == kind) {
                 self.slo_total += 1;
@@ -653,6 +691,7 @@ impl FleetSim {
                 self.recent_window.push((kind, latency_ms));
             }
         }
+        self.hosts[host].sim.clear_recent_latencies();
     }
 
     // --- Control plane -----------------------------------------------------
@@ -827,10 +866,8 @@ impl FleetSim {
         // Queued requests are re-routed to the survivors, as a client
         // retry would: their latency clocks restart at the crash.
         for (vm, dep) in slot.sim.drain_queued_requests() {
-            let tenant = *self
-                .tenant_of_slot
-                .get(&(vm, dep))
-                .expect("queued request belongs to a tenant");
+            let tenant = self.tenant_of_slot[vm][dep];
+            assert_ne!(tenant, usize::MAX, "queued request belongs to a tenant");
             self.requeued += 1;
             self.events.push(now, FleetEvent::Incoming { tenant });
         }

@@ -11,10 +11,10 @@
 //! event queue for one host; [`crate::ClusterSim`] pumps a shared
 //! queue for many.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use mem_types::align_up_to_block;
-use sim_core::{CostModel, CpuPool, DetRng, SimDuration, SimTime, TaskId, TimeSeries};
+use sim_core::{CostModel, CpuPool, DetRng, IdMap, SimDuration, SimTime, TaskId, TimeSeries};
 use vmm::{HostMemory, Vm, VmConfig, VmmError};
 use workloads::FunctionKind;
 
@@ -33,8 +33,8 @@ pub(crate) struct VmRt {
     pub vm: Vm,
     pub pool: CpuPool,
     pub pool_gen: u64,
-    pub work: BTreeMap<TaskId, Work>,
-    pub instances: BTreeMap<u64, Instance>,
+    pub work: IdMap<TaskId, Work>,
+    pub instances: IdMap<u64, Instance>,
     /// Per-deployment FIFO of queued request arrival times.
     pub queues: Vec<VecDeque<SimTime>>,
     pub reclaim: ReclaimTotals,
@@ -78,12 +78,24 @@ pub(crate) struct HostSim {
     host: HostMemory,
     pub vms: Vec<VmRt>,
     backend: Box<dyn ElasticityBackend>,
-    per_func: BTreeMap<FunctionKind, FuncMetrics>,
+    /// Per-function metrics, indexed by `FunctionKind as usize` so the
+    /// per-completion bookkeeping is an array index, not a tree walk.
+    /// `finish` rebuilds the result's `BTreeMap` in declaration order —
+    /// identical to `Ord` order, so digests are unchanged.
+    per_func: [FuncMetrics; FunctionKind::ALL.len()],
+    /// Which `per_func` slots a deployment or arrival ever touched.
+    per_func_live: [bool; FunctionKind::ALL.len()],
     host_series: TimeSeries,
-    pending_reclaims: HashMap<(usize, u64), PendingReclaim>,
+    /// In-flight reclaims keyed by `(vm, token)`. Tokens are globally
+    /// monotonic, so the flat map is both deterministic (key-ordered,
+    /// unlike the `HashMap` it replaced) and append-cheap.
+    pending_reclaims: IdMap<(usize, u64), PendingReclaim>,
     next_inst: u64,
     next_token: u64,
     completed: u64,
+    /// Scratch for `on_cpu_done`'s finished-task sweep (reused so the
+    /// steady-state completion path does not allocate).
+    finished_scratch: Vec<(TaskId, Work)>,
     rng: DetRng,
     /// When set, completed requests are also appended to
     /// `recent_latencies` for the cluster/fleet drivers to drain.
@@ -143,8 +155,8 @@ impl HostSim {
                 vm,
                 pool: CpuPool::new(spec.effective_vcpus()),
                 pool_gen: 0,
-                work: BTreeMap::new(),
-                instances: BTreeMap::new(),
+                work: IdMap::new(),
+                instances: IdMap::new(),
                 queues: vec![VecDeque::new(); ndeps],
                 reclaim: ReclaimTotals::default(),
                 guest_series: TimeSeries::new(),
@@ -152,10 +164,11 @@ impl HostSim {
             });
         }
 
-        let mut per_func = BTreeMap::new();
+        let per_func = std::array::from_fn(|_| FuncMetrics::default());
+        let mut per_func_live = [false; FunctionKind::ALL.len()];
         for spec in &config.vms {
             for d in &spec.deployments {
-                per_func.entry(d.kind).or_insert_with(FuncMetrics::default);
+                per_func_live[d.kind as usize] = true;
             }
         }
 
@@ -169,11 +182,13 @@ impl HostSim {
             vms,
             backend,
             per_func,
+            per_func_live,
             host_series: TimeSeries::new(),
-            pending_reclaims: HashMap::new(),
+            pending_reclaims: IdMap::new(),
             next_inst: 0,
             next_token: 0,
             completed: 0,
+            finished_scratch: Vec::new(),
             rng,
             latency_tap: false,
             recent_latencies: Vec::new(),
@@ -202,9 +217,15 @@ impl HostSim {
     pub fn handle(&mut self, now: SimTime, ev: Event, q: &mut dyn EventSink) {
         match ev {
             Event::Arrival { vm, dep } => self.on_arrival(now, vm, dep, q),
-            Event::CpuDone { vm, gen } => self.on_cpu_done(now, vm, gen, q),
-            Event::PlugDone { vm, inst } => self.on_plug_done(now, vm, inst, q),
-            Event::KeepAlive { vm, inst } => self.on_keepalive(now, vm, inst, q),
+            Event::CpuDone { vm, gen } => {
+                self.on_cpu_done(now, vm, gen, q);
+            }
+            Event::PlugDone { vm, inst } => {
+                self.on_plug_done(now, vm, inst, q);
+            }
+            Event::KeepAlive { vm, inst } => {
+                self.on_keepalive(now, vm, inst, q);
+            }
             Event::ReclaimDone { vm, token } => self.on_reclaim_done(now, vm, token, q),
             Event::RetryReclaim { vm, bytes, retries } => {
                 self.sync_pool(vm, now);
@@ -221,15 +242,26 @@ impl HostSim {
                 self.launch_reclaim(now, vm, start, q);
                 self.reschedule_cpu(vm, now, q);
             }
-            Event::Sample => self.on_sample(now, q),
+            Event::Sample => {
+                self.on_sample(now, q);
+            }
         }
     }
 
     /// Consumes the host and produces its results.
     pub fn finish(self) -> SimResult {
         let end = SimTime::ZERO + SimDuration::from_secs_f64(self.config.duration_s);
+        // Rebuild the result map in declaration order == `Ord` order —
+        // byte-identical to the former `BTreeMap` accumulator.
+        let live = self.per_func_live;
+        let mut per_func = BTreeMap::new();
+        for (i, m) in self.per_func.into_iter().enumerate() {
+            if live[i] {
+                per_func.insert(FunctionKind::ALL[i], m);
+            }
+        }
         SimResult {
-            per_func: self.per_func,
+            per_func,
             host_usage: self.host_series,
             guest_usage: self.vms.iter().map(|v| v.guest_series.clone()).collect(),
             instance_counts: self.vms.iter().map(|v| v.inst_series.clone()).collect(),
@@ -302,8 +334,14 @@ impl HostSim {
 
     /// Drains `(kind, arrival_s, latency_ms)` completions recorded
     /// since the last drain.
-    pub fn drain_recent_latencies(&mut self) -> Vec<(FunctionKind, f64, f64)> {
-        std::mem::take(&mut self.recent_latencies)
+    pub fn recent_latencies(&self) -> &[(FunctionKind, f64, f64)] {
+        &self.recent_latencies
+    }
+
+    /// Forgets the drained latencies, keeping the buffer's capacity so
+    /// the steady-state completion path never reallocates it.
+    pub fn clear_recent_latencies(&mut self) {
+        self.recent_latencies.clear();
     }
 
     /// `true` when the host holds no queued requests, no instances, no
@@ -363,20 +401,23 @@ impl HostSim {
             return; // Stale completion prediction.
         }
         self.sync_pool(vm, now);
-        // Collect finished tasks.
-        let finished: Vec<(TaskId, Work)> = self.vms[vm]
-            .work
-            .iter()
-            .filter(|(tid, _)| {
-                self.vms[vm]
-                    .pool
-                    .remaining(**tid)
-                    .map(|r| r <= EPS_CPU)
-                    .unwrap_or(false)
-            })
-            .map(|(&tid, &w)| (tid, w))
-            .collect();
-        for (tid, work) in finished {
+        // Collect finished tasks into the reusable scratch buffer.
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        finished.clear();
+        finished.extend(
+            self.vms[vm]
+                .work
+                .iter()
+                .filter(|(tid, _)| {
+                    self.vms[vm]
+                        .pool
+                        .remaining(**tid)
+                        .map(|r| r <= EPS_CPU)
+                        .unwrap_or(false)
+                })
+                .map(|(&tid, &w)| (tid, w)),
+        );
+        for (tid, work) in finished.drain(..) {
             self.vms[vm].pool.remove(tid);
             self.vms[vm].work.remove(&tid);
             match work {
@@ -393,6 +434,7 @@ impl HostSim {
                 }
             }
         }
+        self.finished_scratch = finished;
         self.reschedule_cpu(vm, now, q);
     }
 
@@ -947,7 +989,8 @@ impl HostSim {
     }
 
     fn metrics(&mut self, kind: FunctionKind) -> &mut FuncMetrics {
-        self.per_func.entry(kind).or_default()
+        self.per_func_live[kind as usize] = true;
+        &mut self.per_func[kind as usize]
     }
 
     fn sync_pool(&mut self, vm: usize, now: SimTime) {

@@ -55,8 +55,14 @@ impl FaasSim {
 
     /// Runs the simulation to completion and returns the results.
     pub fn run(mut self) -> SimResult {
-        while let Some((now, ev)) = self.events.pop() {
-            self.host.handle(now, ev, &mut self.events);
+        // Same-instant events are popped as one batch: a single wheel
+        // advance serves every event of the tick, in the exact (time,
+        // seq) order sequential pops would yield.
+        let mut batch = Vec::new();
+        while let Some(now) = self.events.pop_batch(&mut batch) {
+            for ev in batch.drain(..) {
+                self.host.handle(now, ev, &mut self.events);
+            }
         }
         self.host.finish()
     }

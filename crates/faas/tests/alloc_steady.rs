@@ -1,0 +1,111 @@
+//! Steady-state allocation audit of the event engine.
+//!
+//! The perf tentpole's contract: once a host is warmed up, the
+//! per-event path — arrival, dispatch, CPU completion, keep-alive —
+//! performs no heap allocation. Timer-wheel slots, the flat `IdMap`s,
+//! the CPU pool's water-filling scratch and the latency tap all reuse
+//! capacity, so the only allocations left are amortized buffer growth
+//! (logarithmic in run length) and per-sample metrics appends.
+//!
+//! The test pins that by differencing: two identical drumbeat runs, one
+//! twice as long as the other. The extra invocations ride entirely on
+//! warmed-up buffers, so the allocation *delta* per extra invocation
+//! must be far below one — a per-event allocation anywhere in the
+//! engine would push it to one or more.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use faas::config::{BackendKind, Deployment, HarvestConfig, SimConfig, VmSpec};
+use faas::FaasSim;
+use workloads::FunctionKind;
+
+/// A pass-through allocator that counts allocation calls.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A warm drumbeat: fixed-cadence arrivals on one Html deployment, far
+/// inside the keep-alive window, so after the first cold start every
+/// invocation runs the steady-state dispatch/complete path.
+fn drumbeat(duration_s: f64) -> (SimConfig, u64) {
+    let gap = 0.1;
+    let mut arrivals = Vec::new();
+    let mut t = 0.05;
+    while t < duration_s {
+        arrivals.push(t);
+        t += gap;
+    }
+    let n = arrivals.len() as u64;
+    let cfg = SimConfig {
+        backend: BackendKind::Squeezy,
+        harvest: HarvestConfig::default(),
+        vms: vec![VmSpec {
+            deployments: vec![Deployment {
+                kind: FunctionKind::Html,
+                concurrency: 2,
+                arrivals,
+            }],
+            vcpus: Some(4.0),
+        }],
+        host_capacity: u64::MAX / 2,
+        keepalive_s: 60.0,
+        duration_s,
+        sample_period_s: 1.0,
+        unplug_deadline_ms: 5_000,
+        record_latency_points: false,
+        seed: 0x57EAD,
+        trial: 0,
+    };
+    (cfg, n)
+}
+
+/// Allocation calls spent inside `run()` for a drumbeat of `duration_s`
+/// (setup is excluded: booting VMs legitimately allocates).
+fn allocs_for(duration_s: f64) -> (u64, u64) {
+    let (cfg, n) = drumbeat(duration_s);
+    let sim = FaasSim::new(cfg).expect("host boots");
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let result = sim.run();
+    let spent = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(result.completed, n, "drumbeat must be fully served");
+    (spent, n)
+}
+
+#[test]
+fn steady_state_invocations_do_not_allocate_per_event() {
+    let (short, n_short) = allocs_for(100.0);
+    let (long, n_long) = allocs_for(200.0);
+    let extra_invocations = (n_long - n_short) as f64;
+    // The longer run's extra invocations are pure steady state; allow a
+    // generous budget for amortized growth and per-sample metrics, but
+    // a true per-event allocation (≥1 per invocation, usually several)
+    // is far outside it.
+    let delta = long.saturating_sub(short) as f64;
+    let per_invocation = delta / extra_invocations;
+    assert!(
+        per_invocation < 0.5,
+        "steady state allocates {per_invocation:.2} times per invocation \
+         (short run: {short} allocs / {n_short} inv, \
+         long run: {long} allocs / {n_long} inv)"
+    );
+}

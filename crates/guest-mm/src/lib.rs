@@ -433,26 +433,51 @@ impl GuestMm {
     /// attached to the process — the OOM killer (or caller) decides what
     /// dies, mirroring §4.1.
     pub fn fault_anon(&mut self, pid: Pid, n: u64) -> Result<Vec<Gfn>, MmError> {
+        let mut runs = Vec::new();
+        self.fault_anon_runs(pid, n, &mut runs)?;
+        let mut got = Vec::with_capacity(n as usize);
+        for r in runs {
+            got.extend(r.iter());
+        }
+        Ok(got)
+    }
+
+    /// Run-based variant of [`GuestMm::fault_anon`]: appends the faulted
+    /// frames to `runs` as contiguous ranges instead of building
+    /// a per-page list — the cold-start fast path (a fresh buddy serves
+    /// order-0 faults as long sequential runs, so a 200 MiB first touch
+    /// becomes ~50 range operations instead of ~50 000 page operations).
+    ///
+    /// Page states, process bookkeeping, allocation order and the final
+    /// buddy state are identical to the per-page path (see
+    /// [`Zone::alloc_run`]); only the bookkeeping granularity changes.
+    pub fn fault_anon_runs(
+        &mut self,
+        pid: Pid,
+        n: u64,
+        runs: &mut Vec<FrameRange>,
+    ) -> Result<(), MmError> {
         let policy = self.procs.get(&pid.0).ok_or(MmError::NoSuchProcess)?.policy;
         let zonelist = self.zonelist_for(policy);
-        let mut got = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            match self.alloc_from_zonelist(&zonelist) {
-                Some(g) => {
+        let mut remaining = n;
+        while remaining > 0 {
+            match self.alloc_run_from_zonelist(&zonelist, remaining) {
+                Some((head, len)) => {
                     let proc = self.procs.get_mut(&pid.0).expect("checked above");
-                    let slot = proc.pages.len() as u32;
-                    proc.pages.push(g);
-                    self.claim(g, PageState::Anon, pid.0, slot);
-                    got.push(g);
+                    let first_slot = proc.pages.len() as u32;
+                    proc.pages.extend((head.0..head.0 + len).map(Gfn));
+                    self.claim_run(head, len, PageState::Anon, pid.0, first_slot);
+                    runs.push(FrameRange::new(head, len));
+                    remaining -= len;
                 }
                 None => {
-                    self.stats.anon_faults += got.len() as u64;
+                    self.stats.anon_faults += n - remaining;
                     return Err(MmError::OutOfMemory);
                 }
             }
         }
         self.stats.anon_faults += n;
-        Ok(got)
+        Ok(())
     }
 
     /// Releases the `n` most recently faulted anonymous pages of `pid`
@@ -564,8 +589,36 @@ impl GuestMm {
     pub fn exit_process(&mut self, pid: Pid) -> Result<u64, MmError> {
         let proc = self.procs.remove(&pid.0).ok_or(MmError::NoSuchProcess)?;
         let n = proc.pages.len() as u64 + proc.huge_pages.len() as u64 * PAGES_PER_HUGE;
-        for g in proc.pages {
-            self.release_used_page(g);
+        // Pages were claimed in allocation order, so the list is a
+        // concatenation of contiguous runs: free whole runs at a time
+        // (one block-counter update per run, maximal buddy chunks)
+        // instead of page by page. Runs split at 128 MiB block
+        // boundaries so each counter update stays within one block.
+        let pages = &proc.pages;
+        let mut i = 0usize;
+        while i < pages.len() {
+            let head = pages[i];
+            let d = *self.memmap.page(head);
+            debug_assert!(d.state.is_used(), "releasing non-used page {head:?}");
+            let block_end = (head.block().0 + 1) * PAGES_PER_BLOCK;
+            let mut j = i + 1;
+            while j < pages.len() && pages[j].0 == pages[j - 1].0 + 1 && pages[j].0 < block_end {
+                let nd = self.memmap.page(pages[j]);
+                if nd.state != d.state || nd.zone != d.zone {
+                    break;
+                }
+                j += 1;
+            }
+            let len = (j - i) as u32;
+            let c = self.blocks.counters_mut(head.block());
+            match d.state {
+                PageState::Anon | PageState::File => c.used_movable -= len,
+                PageState::Kernel => c.used_unmovable -= len,
+                _ => unreachable!(),
+            }
+            c.free += len;
+            self.zones[d.zone as usize].free_run(&mut self.memmap, head, len as u64);
+            i = j;
         }
         for h in proc.huge_pages {
             self.release_huge(h);
@@ -582,6 +635,20 @@ impl GuestMm {
         file: FileId,
         want_pages: u64,
     ) -> Result<FileFaultOutcome, MmError> {
+        let mut runs = Vec::new();
+        self.fault_file_runs(file, want_pages, &mut runs)
+    }
+
+    /// Run-based variant of [`GuestMm::fault_file`]: the newly read
+    /// pages are also appended to `runs` as contiguous ranges, claimed
+    /// with the same sequential-sweep fast path as
+    /// [`GuestMm::fault_anon_runs`].
+    pub fn fault_file_runs(
+        &mut self,
+        file: FileId,
+        want_pages: u64,
+        runs: &mut Vec<FrameRange>,
+    ) -> Result<FileFaultOutcome, MmError> {
         let resident = self.files.entry(file.0).or_default().pages.len() as u64;
         let cached = resident.min(want_pages);
         let missing = want_pages.saturating_sub(resident);
@@ -592,14 +659,17 @@ impl GuestMm {
             });
         }
         let zonelist = self.zonelist_for(self.file_policy);
-        for _ in 0..missing {
-            let g = self
-                .alloc_from_zonelist(&zonelist)
+        let mut remaining = missing;
+        while remaining > 0 {
+            let (head, len) = self
+                .alloc_run_from_zonelist(&zonelist, remaining)
                 .ok_or(MmError::OutOfMemory)?;
             let entry = self.files.get_mut(&file.0).expect("created above");
-            let slot = entry.pages.len() as u32;
-            entry.pages.push(g);
-            self.claim(g, PageState::File, file.0, slot);
+            let first_slot = entry.pages.len() as u32;
+            entry.pages.extend((head.0..head.0 + len).map(Gfn));
+            self.claim_run(head, len, PageState::File, file.0, first_slot);
+            runs.push(FrameRange::new(head, len));
+            remaining -= len;
         }
         self.stats.file_faults += missing;
         Ok(FileFaultOutcome {
@@ -667,11 +737,30 @@ impl GuestMm {
         Ok(())
     }
 
+    /// Hot-adds and immediately onlines block `b` into zone `z` — what a
+    /// plug request does. One descriptor sweep instead of two: the
+    /// intermediate Offline state of [`GuestMm::hot_add_block`] followed
+    /// by [`GuestMm::online_block`] is unobservable (both happen inside
+    /// one plug request), so the descriptors go straight from Absent to
+    /// the buddy's free states.
+    pub fn hot_add_online_block(&mut self, b: BlockId, z: u8) -> Result<(), MmError> {
+        if self.blocks.state(b) != BlockState::Absent {
+            return Err(MmError::BadBlockState);
+        }
+        self.online_pages_of(b, z)
+    }
+
     /// Onlines block `b` into zone `z`: releases its pages to the buddy.
     pub fn online_block(&mut self, b: BlockId, z: u8) -> Result<(), MmError> {
         if self.blocks.state(b) != BlockState::AddedOffline {
             return Err(MmError::BadBlockState);
         }
+        self.online_pages_of(b, z)
+    }
+
+    /// Shared tail of the online paths: hands `b`'s pages to zone `z`'s
+    /// buddy and marks the block online.
+    fn online_pages_of(&mut self, b: BlockId, z: u8) -> Result<(), MmError> {
         let zone = &self.zones[z as usize];
         if !zone.span.contains(b.first_frame()) || !zone.span.contains(Gfn(b.frames().end().0 - 1))
         {
@@ -821,12 +910,11 @@ impl GuestMm {
             return Err(MmError::BlockNotEmpty);
         }
         let mut out = OfflineOutcome::default();
-        for g in b.frames().iter() {
-            debug_assert!(self.memmap.state(g).is_free());
-            self.zones[zone as usize].take_free_page(&mut self.memmap, g);
-            self.memmap.page_mut(g).state = PageState::Isolated;
-            out.isolated_free += 1;
-        }
+        // The block is entirely free: isolate it chunk-at-a-time rather
+        // than page-at-a-time (the per-page splits are pure overhead
+        // when every page is being taken).
+        self.zones[zone as usize].isolate_free_range(&mut self.memmap, b.frames());
+        out.isolated_free = PAGES_PER_BLOCK;
         if self.config.init_on_alloc && !self.unplug_aware_zeroing_skip {
             out.zeroed = out.isolated_free;
             self.stats.pages_zeroed += out.zeroed;
@@ -846,9 +934,7 @@ impl GuestMm {
         if self.blocks.state(b) != BlockState::AddedOffline {
             return Err(MmError::BadBlockState);
         }
-        for g in b.frames().iter() {
-            *self.memmap.page_mut(g) = PageDesc::ABSENT;
-        }
+        self.memmap.range_mut(b.frames()).fill(PageDesc::ABSENT);
         self.blocks.set_state(b, BlockState::Absent);
         self.blocks.reset_counters(b);
         Ok(())
@@ -907,6 +993,18 @@ impl GuestMm {
         None
     }
 
+    /// Allocates a contiguous run of up to `want` pages from the first
+    /// zone that can serve it (see [`Zone::alloc_run`] for why this is
+    /// order-identical to repeated [`GuestMm::alloc_from_zonelist`]).
+    fn alloc_run_from_zonelist(&mut self, zonelist: &[u8], want: u64) -> Option<(Gfn, u64)> {
+        for &z in zonelist {
+            if let Some(run) = self.zones[z as usize].alloc_run(&mut self.memmap, want) {
+                return Some(run);
+            }
+        }
+        None
+    }
+
     /// Claims a freshly allocated page (state `FreeTail`, already out of
     /// the buddy) for a user, updating block counters.
     fn claim(&mut self, g: Gfn, state: PageState, owner: u32, slot: u32) {
@@ -922,6 +1020,44 @@ impl GuestMm {
         match state {
             PageState::Anon | PageState::File => c.used_movable += 1,
             PageState::Kernel => c.used_unmovable += 1,
+            _ => unreachable!("claim called with non-used state"),
+        }
+    }
+
+    /// Claims a freshly allocated contiguous run (all `FreeTail`, already
+    /// out of the buddy) for one owner, slots numbered consecutively from
+    /// `first_slot`. Equivalent to `len` [`GuestMm::claim`] calls, but
+    /// the descriptor writes are one sequential sweep and the block
+    /// counters are updated once — a buddy run (≤ 4 MiB, size-aligned)
+    /// never straddles a 128 MiB block boundary.
+    fn claim_run(&mut self, head: Gfn, len: u64, state: PageState, owner: u32, first_slot: u32) {
+        debug_assert_eq!(head.block(), Gfn(head.0 + len - 1).block());
+        // A buddy run comes from a single zone, so whole-descriptor
+        // stores (no read-modify-write per field) are exact; `order` and
+        // `flags` are meaningless outside the free lists.
+        let zone = self.memmap.page(head).zone;
+        for (i, d) in self
+            .memmap
+            .range_mut(FrameRange::new(head, len))
+            .iter_mut()
+            .enumerate()
+        {
+            debug_assert_eq!(d.state, PageState::FreeTail);
+            debug_assert_eq!(d.zone, zone);
+            *d = PageDesc {
+                state,
+                order: 0,
+                zone,
+                flags: 0,
+                a: owner,
+                b: first_slot + i as u32,
+            };
+        }
+        let c = self.blocks.counters_mut(head.block());
+        c.free -= len as u32;
+        match state {
+            PageState::Anon | PageState::File => c.used_movable += len as u32,
+            PageState::Kernel => c.used_unmovable += len as u32,
             _ => unreachable!("claim called with non-used state"),
         }
     }
@@ -1006,9 +1142,8 @@ impl GuestMm {
     /// Completes an offline: all pages isolated → offline state.
     fn finish_offline(&mut self, b: BlockId, zone: u8) {
         debug_assert_eq!(self.blocks.counters(b).isolated as u64, PAGES_PER_BLOCK);
-        for g in b.frames().iter() {
-            debug_assert_eq!(self.memmap.state(g), PageState::Isolated);
-            let d = self.memmap.page_mut(g);
+        for d in self.memmap.range_mut(b.frames()) {
+            debug_assert_eq!(d.state, PageState::Isolated);
             d.state = PageState::Offline;
             d.zone = page::NO_ZONE;
         }
@@ -1019,8 +1154,7 @@ impl GuestMm {
 
     /// Initializes memmap coverage for `b` (pages → Offline state).
     fn pages_to_offline_state(&mut self, b: BlockId) {
-        for g in b.frames().iter() {
-            let d = self.memmap.page_mut(g);
+        for d in self.memmap.range_mut(b.frames()) {
             d.state = PageState::Offline;
             d.zone = page::NO_ZONE;
         }

@@ -58,6 +58,18 @@ impl MemMap {
         self.page(g).state
     }
 
+    /// Returns the descriptors of `range` as one mutable slice — the
+    /// bulk paths (onlining, buddy frees, run claims) sweep descriptors
+    /// through this instead of taking a bounds check per page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` runs past the covered address space.
+    #[inline]
+    pub fn range_mut(&mut self, range: FrameRange) -> &mut [PageDesc] {
+        &mut self.pages[range.start.0 as usize..(range.start.0 + range.count) as usize]
+    }
+
     /// Counts pages in `range` matching `pred`.
     pub fn count_in(&self, range: FrameRange, pred: impl Fn(&PageDesc) -> bool) -> u64 {
         range.iter().filter(|&g| pred(self.page(g))).count() as u64

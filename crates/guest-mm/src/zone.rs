@@ -13,7 +13,7 @@
 use mem_types::{FrameRange, Gfn};
 
 use crate::memmap::MemMap;
-use crate::page::{PageState, MAX_ORDER, NIL};
+use crate::page::{PageDesc, PageState, MAX_ORDER, NIL};
 
 /// What a zone is used for.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -122,16 +122,23 @@ impl Zone {
     pub fn free_block(&mut self, mm: &mut MemMap, head: Gfn, order: u8) {
         debug_assert_eq!(head.0 & ((1 << order) - 1), 0, "misaligned free");
         debug_assert!(order <= MAX_ORDER);
-        // Mark the whole range as free interior pages first; the final
-        // head is promoted at the end.
-        for g in head.0..head.0 + (1 << order) {
-            let d = mm.page_mut(Gfn(g));
-            debug_assert!(!d.state.is_free(), "double free of {g:#x}");
-            d.state = PageState::FreeTail;
-            d.zone = self.id;
-            d.a = NIL;
-            d.b = NIL;
+        // Mark the whole range as free interior pages first (one
+        // sequential descriptor fill); the final head is promoted at
+        // the end. `order` is meaningful only on `FreeHead` pages and
+        // `flags` is a spare byte, so a uniform fill is exact.
+        #[cfg(debug_assertions)]
+        for d in mm.range_mut(FrameRange::new(head, 1 << order)) {
+            debug_assert!(!d.state.is_free(), "double free near {head:?}");
         }
+        mm.range_mut(FrameRange::new(head, 1 << order))
+            .fill(PageDesc {
+                state: PageState::FreeTail,
+                order: 0,
+                zone: self.id,
+                flags: 0,
+                a: NIL,
+                b: NIL,
+            });
         self.free_pages += 1 << order;
 
         let mut head = head;
@@ -151,6 +158,33 @@ impl Zone {
             order += 1;
         }
         self.link(mm, head, order);
+    }
+
+    /// Frees the `len` contiguous pages starting at `head`, decomposed
+    /// into maximal naturally-aligned power-of-two chunks in ascending
+    /// address order.
+    ///
+    /// Exactly equivalent to `len` sequential order-0 [`Zone::free_block`]
+    /// calls over `head..head+len`: eager buddy merging is confluent (the
+    /// final free lists are the canonical maximal merge of the free page
+    /// set), adjacent chunks of a maximal decomposition are never buddies,
+    /// and each chunk completes — and is therefore linked — in the same
+    /// ascending order the per-page path would link it, so even the
+    /// intra-list ordering matches.
+    pub fn free_run(&mut self, mm: &mut MemMap, head: Gfn, len: u64) {
+        let mut g = head.0;
+        let end = head.0 + len;
+        while g < end {
+            let align = if g == 0 {
+                MAX_ORDER
+            } else {
+                (g.trailing_zeros() as u8).min(MAX_ORDER)
+            };
+            let fit = (63 - (end - g).leading_zeros()) as u8;
+            let order = align.min(fit);
+            self.free_block(mm, Gfn(g), order);
+            g += 1 << order;
+        }
     }
 
     /// Allocates a contiguous 2^`order` block, splitting larger blocks as
@@ -177,6 +211,41 @@ impl Zone {
         }
         self.free_pages -= 1 << order;
         Some(head)
+    }
+
+    /// Allocates a contiguous run of up to `want` pages with one buddy
+    /// operation. Returns the head frame and run length, with every page
+    /// left in `FreeTail` state for the caller to claim, or `None` if the
+    /// zone is empty.
+    ///
+    /// Exactly equivalent to draining the run via repeated
+    /// `alloc_block(mm, 0)` calls: order-0 allocation always consumes
+    /// the smallest free block, and because splitting links the upper
+    /// halves into the (empty) lower-order lists, it consumes that block
+    /// *sequentially* — head, head+1, … — before touching any other
+    /// block. Taking the whole block at once therefore yields the same
+    /// pages in the same order and the same final free-list state, while
+    /// skipping the per-page split/link churn. A block bigger than
+    /// `want` is consumed one page at a time (the ordinary split path),
+    /// so partial consumption also matches the sequential sequence.
+    pub fn alloc_run(&mut self, mm: &mut MemMap, want: u64) -> Option<(Gfn, u64)> {
+        debug_assert!(want > 0);
+        let mut have = None;
+        for o in 0..=MAX_ORDER {
+            if self.free_heads[o as usize] != NIL {
+                have = Some(o);
+                break;
+            }
+        }
+        let o = have?;
+        if (1u64 << o) > want {
+            return self.alloc_block(mm, 0).map(|g| (g, 1));
+        }
+        let head = Gfn(self.free_heads[o as usize] as u64);
+        self.unlink(mm, head, o);
+        mm.page_mut(head).state = PageState::FreeTail;
+        self.free_pages -= 1 << o;
+        Some((head, 1 << o))
     }
 
     /// Carves a specific free page `g` out of the buddy (the isolation
@@ -208,6 +277,42 @@ impl Zone {
         }
         debug_assert_eq!(head, g);
         self.free_pages -= 1;
+    }
+
+    /// Isolates an entirely-free page range, unlinking whole buddy
+    /// chunks and marking every page [`PageState::Isolated`] in one
+    /// descriptor sweep per chunk.
+    ///
+    /// `range` must be MAX_ORDER-aligned at both ends and contain only
+    /// free pages of this zone; buddy chunks never straddle such a
+    /// boundary, so every chunk touching the range lies wholly inside
+    /// it. Equivalent to [`Zone::take_free_page`] on every page (the
+    /// per-page path's intermediate splits only ever link and unlink
+    /// chunks inside the range, all of which are gone at the end, so
+    /// the surviving free lists match exactly).
+    pub fn isolate_free_range(&mut self, mm: &mut MemMap, range: FrameRange) {
+        debug_assert_eq!(range.start.0 & ((1 << MAX_ORDER) - 1), 0);
+        debug_assert_eq!(range.count & ((1 << MAX_ORDER) - 1), 0);
+        let mut g = range.start.0;
+        let end = range.start.0 + range.count;
+        while g < end {
+            let d = *mm.page(Gfn(g));
+            debug_assert_eq!(d.state, PageState::FreeHead, "free walk off a chunk head");
+            debug_assert_eq!(d.zone, self.id, "page in wrong zone");
+            let order = d.order;
+            self.unlink(mm, Gfn(g), order);
+            mm.range_mut(FrameRange::new(Gfn(g), 1 << order))
+                .fill(PageDesc {
+                    state: PageState::Isolated,
+                    order: 0,
+                    zone: self.id,
+                    flags: 0,
+                    a: NIL,
+                    b: NIL,
+                });
+            g += 1 << order;
+        }
+        self.free_pages -= range.count;
     }
 
     /// Returns the number of free blocks currently on the `order` list
@@ -430,6 +535,169 @@ mod tests {
         let g = zone.alloc_block(&mut mm, 0).unwrap();
         mm.page_mut(g).state = PageState::Anon;
         zone.take_free_page(&mut mm, g);
+    }
+
+    #[test]
+    fn alloc_run_matches_sequential_order_zero_allocs() {
+        // Drive two identical zones through mixed run/free traffic; the
+        // run path must produce the same page sequence and the same
+        // buddy state as repeated order-0 allocation.
+        let (mut mm_a, mut za) = make(4096);
+        let (mut mm_b, mut zb) = make(4096);
+        fill(&mut mm_a, &mut za, 4096);
+        fill(&mut mm_b, &mut zb, 4096);
+        let mut x = 0xDEAD_BEEFu64;
+        let mut held: Vec<Gfn> = Vec::new();
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x.is_multiple_of(4) && !held.is_empty() {
+                // Free a pseudo-random page from both zones alike.
+                let idx = (x as usize / 5) % held.len();
+                let g = held.swap_remove(idx);
+                za.free_block(&mut mm_a, g, 0);
+                zb.free_block(&mut mm_b, g, 0);
+                continue;
+            }
+            // Allocate a run of 1..=100 pages via both paths.
+            let mut want = 1 + (x / 3) % 100;
+            let mut run_pages = Vec::new();
+            while want > 0 {
+                let Some((head, len)) = za.alloc_run(&mut mm_a, want) else {
+                    break;
+                };
+                for g in head.0..head.0 + len {
+                    mm_a.page_mut(Gfn(g)).state = PageState::Anon;
+                    run_pages.push(Gfn(g));
+                }
+                want -= len;
+            }
+            let seq_pages: Vec<Gfn> = (0..run_pages.len())
+                .map(|_| {
+                    let g = zb.alloc_block(&mut mm_b, 0).unwrap();
+                    mm_b.page_mut(g).state = PageState::Anon;
+                    g
+                })
+                .collect();
+            assert_eq!(run_pages, seq_pages, "allocation sequence must match");
+            held.extend(run_pages);
+        }
+        assert_eq!(za.free_pages, zb.free_pages);
+        za.assert_consistent(&mm_a);
+        zb.assert_consistent(&mm_b);
+        // Identical free-list structure, not just counts.
+        for o in 0..=MAX_ORDER {
+            assert_eq!(
+                za.free_list_len(&mm_a, o),
+                zb.free_list_len(&mm_b, o),
+                "order {o} free list diverged"
+            );
+        }
+        assert_eq!(za.free_chunks(&mm_a, 0), zb.free_chunks(&mm_b, 0));
+    }
+
+    #[test]
+    fn free_run_matches_sequential_order_zero_frees() {
+        // Drive two identical zones: one frees whole runs via
+        // `free_run`, the other frees the same pages one at a time.
+        // Buddy merging must land in the same canonical state either
+        // way, down to intra-list ordering.
+        let (mut mm_a, mut za) = make(4096);
+        let (mut mm_b, mut zb) = make(4096);
+        fill(&mut mm_a, &mut za, 4096);
+        fill(&mut mm_b, &mut zb, 4096);
+        let mut x = 0xC0FF_EE00u64;
+        let mut held: Vec<(Gfn, u64)> = Vec::new();
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x.is_multiple_of(3) && !held.is_empty() {
+                let idx = (x as usize / 5) % held.len();
+                let (head, len) = held.swap_remove(idx);
+                za.free_run(&mut mm_a, head, len);
+                for g in head.0..head.0 + len {
+                    zb.free_block(&mut mm_b, Gfn(g), 0);
+                }
+                continue;
+            }
+            // Allocate the same runs from both zones to stay in sync.
+            let want = 1 + (x / 3) % 200;
+            if let Some((head, len)) = za.alloc_run(&mut mm_a, want) {
+                let (hb, lb) = zb.alloc_run(&mut mm_b, want).unwrap();
+                assert_eq!((head, len), (hb, lb));
+                for g in head.0..head.0 + len {
+                    mm_a.page_mut(Gfn(g)).state = PageState::Anon;
+                    mm_b.page_mut(Gfn(g)).state = PageState::Anon;
+                }
+                held.push((head, len));
+            }
+        }
+        // Drain everything still held so the whole zone is exercised.
+        for (head, len) in held {
+            za.free_run(&mut mm_a, head, len);
+            for g in head.0..head.0 + len {
+                zb.free_block(&mut mm_b, Gfn(g), 0);
+            }
+        }
+        assert_eq!(za.free_pages, zb.free_pages);
+        za.assert_consistent(&mm_a);
+        zb.assert_consistent(&mm_b);
+        for o in 0..=MAX_ORDER {
+            assert_eq!(
+                za.free_chunks(&mm_a, o),
+                zb.free_chunks(&mm_b, o),
+                "order {o} free list diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn isolate_free_range_matches_per_page_takes() {
+        // Fragment two identical zones the same way, then isolate the
+        // same fully-free MAX_ORDER-aligned range: bulk chunk unlinking
+        // must leave the same free lists as per-page carving.
+        let (mut mm_a, mut za) = make(8192);
+        let (mut mm_b, mut zb) = make(8192);
+        fill(&mut mm_a, &mut za, 8192);
+        fill(&mut mm_b, &mut zb, 8192);
+        let mut x = 0x5EED_5EEDu64;
+        // Allocate scattered pages outside [2048, 4096) so the target
+        // range stays free but the surrounding buddy state is ragged.
+        for _ in 0..600 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let (ga, gb) = (
+                za.alloc_block(&mut mm_a, 0).unwrap(),
+                zb.alloc_block(&mut mm_b, 0).unwrap(),
+            );
+            assert_eq!(ga, gb);
+            mm_a.page_mut(ga).state = PageState::Anon;
+            mm_b.page_mut(gb).state = PageState::Anon;
+            if (2048..4096).contains(&ga.0) {
+                // Give the page back if it landed in the target range.
+                za.free_block(&mut mm_a, ga, 0);
+                zb.free_block(&mut mm_b, gb, 0);
+            } else if x.is_multiple_of(5) {
+                za.free_block(&mut mm_a, ga, 0);
+                zb.free_block(&mut mm_b, gb, 0);
+            }
+        }
+        let range = FrameRange::new(Gfn(2048), 2048);
+        za.isolate_free_range(&mut mm_a, range);
+        for g in range.iter() {
+            zb.take_free_page(&mut mm_b, g);
+            mm_b.page_mut(g).state = PageState::Isolated;
+        }
+        assert_eq!(za.free_pages, zb.free_pages);
+        for g in range.iter() {
+            assert_eq!(mm_a.state(g), PageState::Isolated);
+        }
+        za.assert_consistent(&mm_a);
+        zb.assert_consistent(&mm_b);
+        for o in 0..=MAX_ORDER {
+            assert_eq!(
+                za.free_chunks(&mm_a, o),
+                zb.free_chunks(&mm_b, o),
+                "order {o} free list diverged"
+            );
+        }
     }
 
     #[test]

@@ -81,6 +81,84 @@ impl Bitmap {
         was
     }
 
+    /// Sets bits `[start, start + n)`, returning how many were newly
+    /// set. Whole-word equivalent of `n` [`Bitmap::set`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the map.
+    pub fn set_range(&mut self, start: usize, n: usize) -> usize {
+        assert!(
+            start + n <= self.len,
+            "range {start}+{n} out of {}",
+            self.len
+        );
+        let mut newly = 0;
+        let mut i = start;
+        let end = start + n;
+        while i < end {
+            let take = (64 - i % 64).min(end - i);
+            let mask = (u64::MAX >> (64 - take)) << (i % 64);
+            let word = &mut self.words[i / 64];
+            newly += (mask & !*word).count_ones() as usize;
+            *word |= mask;
+            i += take;
+        }
+        self.ones += newly;
+        newly
+    }
+
+    /// Clears bits `[start, start + n)`, returning how many were
+    /// previously set. Whole-word equivalent of `n` [`Bitmap::clear`]
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the map.
+    pub fn clear_range(&mut self, start: usize, n: usize) -> usize {
+        assert!(
+            start + n <= self.len,
+            "range {start}+{n} out of {}",
+            self.len
+        );
+        let mut dropped = 0;
+        let mut i = start;
+        let end = start + n;
+        while i < end {
+            let take = (64 - i % 64).min(end - i);
+            let mask = (u64::MAX >> (64 - take)) << (i % 64);
+            let word = &mut self.words[i / 64];
+            dropped += (mask & *word).count_ones() as usize;
+            *word &= !mask;
+            i += take;
+        }
+        self.ones -= dropped;
+        dropped
+    }
+
+    /// Counts clear bits in `[start, start + n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the map.
+    pub fn count_zeros_in(&self, start: usize, n: usize) -> usize {
+        assert!(
+            start + n <= self.len,
+            "range {start}+{n} out of {}",
+            self.len
+        );
+        let mut zeros = 0;
+        let mut i = start;
+        let end = start + n;
+        while i < end {
+            let take = (64 - i % 64).min(end - i);
+            let mask = (u64::MAX >> (64 - take)) << (i % 64);
+            zeros += (mask & !self.words[i / 64]).count_ones() as usize;
+            i += take;
+        }
+        zeros
+    }
+
     /// Returns the index of the first clear bit, or `None` if all set.
     pub fn first_zero(&self) -> Option<usize> {
         for (wi, &w) in self.words.iter().enumerate() {
@@ -179,6 +257,60 @@ mod tests {
         let zeros: Vec<_> = b.iter_zeros().collect();
         assert_eq!(zeros.len(), 200 - set.len());
         assert!(!zeros.contains(&64));
+    }
+
+    #[test]
+    fn range_ops_match_per_bit_ops() {
+        // Every (start, n) window over a word boundary, checked against
+        // the per-bit reference.
+        for start in 0..70 {
+            for n in 0..70 {
+                if start + n > 130 {
+                    continue;
+                }
+                let mut bulk = Bitmap::new(130);
+                let mut bit = Bitmap::new(130);
+                // Pre-set a pattern so set/clear see mixed prior state.
+                for i in (0..130).step_by(3) {
+                    bulk.set(i);
+                    bit.set(i);
+                }
+                let newly = bulk.set_range(start, n);
+                let mut newly_ref = 0;
+                for i in start..start + n {
+                    if !bit.set(i) {
+                        newly_ref += 1;
+                    }
+                }
+                assert_eq!(newly, newly_ref, "set_range({start}, {n})");
+                assert_eq!(bulk, bit);
+                assert_eq!(bulk.count_zeros_in(start, n), 0);
+
+                let dropped = bulk.clear_range(start, n);
+                let mut dropped_ref = 0;
+                for i in start..start + n {
+                    if bit.clear(i) {
+                        dropped_ref += 1;
+                    }
+                }
+                assert_eq!(dropped, dropped_ref, "clear_range({start}, {n})");
+                assert_eq!(bulk, bit);
+                assert_eq!(bulk.count_zeros_in(start, n), n);
+            }
+        }
+    }
+
+    #[test]
+    fn count_zeros_in_counts_window_only() {
+        let mut b = Bitmap::new(200);
+        b.set(10);
+        b.set(64);
+        b.set(65);
+        assert_eq!(b.count_zeros_in(0, 200), 197);
+        assert_eq!(b.count_zeros_in(10, 1), 0);
+        assert_eq!(b.count_zeros_in(11, 53), 53);
+        assert_eq!(b.count_zeros_in(60, 10), 8);
+        assert_eq!(b.count_zeros_in(0, 0), 0);
     }
 
     #[test]

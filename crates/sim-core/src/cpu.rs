@@ -10,8 +10,7 @@
 //! Table 1). Rates only change when the runnable set changes, so the
 //! simulation advances in O(changes), not in ticks.
 
-use std::collections::BTreeMap;
-
+use crate::collections::IdMap;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a task inside a [`CpuPool`].
@@ -37,9 +36,13 @@ struct Task {
 pub struct CpuPool {
     capacity: f64,
     now: SimTime,
-    tasks: BTreeMap<TaskId, Task>,
+    tasks: IdMap<TaskId, Task>,
     next_id: u64,
     total_consumed: f64,
+    /// Water-filling scratch buffers, reused across recomputations so
+    /// the per-event path never allocates once warmed up.
+    unfixed: Vec<TaskId>,
+    still: Vec<TaskId>,
 }
 
 impl CpuPool {
@@ -53,9 +56,11 @@ impl CpuPool {
         CpuPool {
             capacity,
             now: SimTime::ZERO,
-            tasks: BTreeMap::new(),
+            tasks: IdMap::new(),
             next_id: 0,
             total_consumed: 0.0,
+            unfixed: Vec::new(),
+            still: Vec::new(),
         }
     }
 
@@ -189,7 +194,7 @@ impl CpuPool {
     /// rates, or `None` if no finite-demand task is running.
     pub fn next_completion(&self) -> Option<(TaskId, SimTime)> {
         let mut best: Option<(TaskId, f64)> = None;
-        for (&id, t) in &self.tasks {
+        for (&id, t) in self.tasks.iter() {
             if !t.remaining.is_finite() || t.rate <= 0.0 {
                 continue;
             }
@@ -208,7 +213,14 @@ impl CpuPool {
     /// proportional share exceeds its cap is pinned at the cap and the
     /// leftover is redistributed among the rest.
     fn recompute_rates(&mut self) {
-        let mut unfixed: Vec<TaskId> = self.tasks.keys().copied().collect();
+        // Reuse the scratch buffers (taken out of `self` so the task map
+        // stays borrowable): the floating-point operation order below is
+        // deliberately identical to the original BTreeMap formulation,
+        // so rates — and every digest downstream — are bit-exact.
+        let mut unfixed = std::mem::take(&mut self.unfixed);
+        let mut still = std::mem::take(&mut self.still);
+        unfixed.clear();
+        unfixed.extend(self.tasks.keys().copied());
         let mut cap_left = self.capacity;
         // Water-filling terminates in at most `n` rounds because each
         // round fixes at least one task.
@@ -218,7 +230,7 @@ impl CpuPool {
                 break;
             }
             let mut fixed_any = false;
-            let mut still = Vec::with_capacity(unfixed.len());
+            still.clear();
             for id in unfixed.drain(..) {
                 let t = &self.tasks[&id];
                 let share = cap_left * t.weight / wsum;
@@ -231,7 +243,7 @@ impl CpuPool {
                     still.push(id);
                 }
             }
-            unfixed = still;
+            std::mem::swap(&mut unfixed, &mut still);
             if !fixed_any {
                 // No task is capped: split what is left proportionally.
                 let wsum: f64 = unfixed.iter().map(|id| self.tasks[id].weight).sum();
@@ -245,6 +257,8 @@ impl CpuPool {
                 break;
             }
         }
+        self.unfixed = unfixed;
+        self.still = still;
     }
 }
 

@@ -5,7 +5,11 @@
 //! deterministic simulator:
 //!
 //! * [`time`] — virtual nanosecond clock ([`SimTime`], [`SimDuration`]).
-//! * [`events`] — a deterministic event queue with FIFO tie-breaking.
+//! * [`events`] — a deterministic hierarchical-timer-wheel event queue
+//!   with FIFO tie-breaking (plus the reference binary-heap queue).
+//! * [`collections`] — flat sorted-`Vec` maps ([`IdMap`]) for the
+//!   per-event hot paths; `BTreeMap` iteration order without the
+//!   per-node allocation.
 //! * [`rng`] — seeded random streams plus the samplers the workloads need
 //!   (exponential, Zipf, log-normal) so no extra crates are required.
 //! * [`cost`] — the calibrated cost model: every nanosecond the simulator
@@ -25,6 +29,7 @@
 //! seed regenerates the same figures bit-for-bit, and the experiment
 //! runner only parallelizes *across* independent simulations.
 
+pub mod collections;
 pub mod cost;
 pub mod cpu;
 pub mod events;
@@ -35,9 +40,10 @@ pub mod rng;
 pub mod table;
 pub mod time;
 
+pub use collections::IdMap;
 pub use cost::{CostModel, LatencyBreakdown};
 pub use cpu::{CpuPool, TaskId};
-pub use events::EventQueue;
+pub use events::{BinaryHeapQueue, EventQueue};
 pub use experiment::{run_experiment, run_reduced, ExpOpts, Experiment, Summary, TrialCtx};
 pub use metrics::{fnv1a, BusyRecorder, Fnv1a, Histogram, Reservoir, TimeSeries};
 pub use rng::DetRng;

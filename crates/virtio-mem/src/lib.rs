@@ -241,8 +241,9 @@ impl VirtioMemDevice {
             if self.plugged.get(idx) {
                 return Err(VirtioMemError::Guest(MmError::BadBlockState));
             }
-            guest.hot_add_block(b).map_err(VirtioMemError::Guest)?;
-            guest.online_block(b, zone).map_err(VirtioMemError::Guest)?;
+            guest
+                .hot_add_online_block(b, zone)
+                .map_err(VirtioMemError::Guest)?;
             self.plugged.set(idx);
             let block_cost = SimDuration::nanos(cost.hot_add_block_ns + cost.online_block_ns);
             report.breakdown.rest += block_cost;

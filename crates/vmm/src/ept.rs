@@ -51,34 +51,22 @@ impl Ept {
 
     /// Backs every frame of `range`, returning the newly backed count.
     pub fn populate_range(&mut self, range: FrameRange) -> u64 {
-        let mut new = 0;
-        for g in range.iter() {
-            if !self.backed.set(g.0 as usize) {
-                new += 1;
-            }
-        }
-        new
+        self.backed
+            .set_range(range.start.0 as usize, range.count as usize) as u64
     }
 
     /// Returns how many frames of `range` currently lack host backing
     /// (what a populate of the range would need to reserve).
     pub fn count_unbacked(&self, range: FrameRange) -> u64 {
-        range
-            .iter()
-            .filter(|g| !self.backed.get(g.0 as usize))
-            .count() as u64
+        self.backed
+            .count_zeros_in(range.start.0 as usize, range.count as usize) as u64
     }
 
     /// Releases backing for every frame of `range`
     /// (`madvise(MADV_DONTNEED)` after unplug), returning freed pages.
     pub fn release_range(&mut self, range: FrameRange) -> u64 {
-        let mut freed = 0;
-        for g in range.iter() {
-            if self.backed.clear(g.0 as usize) {
-                freed += 1;
-            }
-        }
-        freed
+        self.backed
+            .clear_range(range.start.0 as usize, range.count as usize) as u64
     }
 
     /// Releases backing for individual frames (balloon inflation),

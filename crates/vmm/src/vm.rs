@@ -99,6 +99,9 @@ pub struct Vm {
     pub balloon: BalloonDevice,
     /// vCPU count.
     pub vcpus: f64,
+    /// Reusable scratch for run-based fault paths (capacity persists
+    /// across touches, so warmed-up VMs fault without allocating).
+    fault_runs: Vec<FrameRange>,
 }
 
 impl Vm {
@@ -119,6 +122,7 @@ impl Vm {
             virtio_mem: VirtioMemDevice::new(region, ZONE_MOVABLE),
             balloon: BalloonDevice::new(),
             vcpus: config.vcpus,
+            fault_runs: Vec::new(),
         })
     }
 
@@ -136,8 +140,15 @@ impl Vm {
         pages: u64,
         cost: &CostModel,
     ) -> Result<FaultCharge, VmmError> {
-        let gfns = self.guest.fault_anon(pid, pages)?;
-        let charge = self.back_pages(host, &gfns, cost)?;
+        let mut runs = std::mem::take(&mut self.fault_runs);
+        runs.clear();
+        let backed = self
+            .guest
+            .fault_anon_runs(pid, pages, &mut runs)
+            .map_err(VmmError::from)
+            .and_then(|()| self.back_runs(host, &runs, cost));
+        self.fault_runs = runs;
+        let charge = backed?;
         Ok(FaultCharge {
             pages,
             newly_backed: charge.newly_backed,
@@ -197,21 +208,19 @@ impl Vm {
         want_pages: u64,
         cost: &CostModel,
     ) -> Result<FaultCharge, VmmError> {
-        let before = self
+        let mut runs = std::mem::take(&mut self.fault_runs);
+        runs.clear();
+        let result = self
             .guest
-            .file(file)
-            .map(|f| f.resident_pages())
-            .unwrap_or(0);
-        let outcome = self.guest.fault_file(file, want_pages)?;
-        // Newly read pages are the tail of the file's page list.
-        let fresh: Vec<Gfn> = self
-            .guest
-            .file(file)
-            .expect("file exists after fault")
-            .pages[before as usize..]
-            .to_vec();
-        debug_assert_eq!(fresh.len() as u64, outcome.new_pages);
-        let backing = self.back_pages(host, &fresh, cost)?;
+            .fault_file_runs(file, want_pages, &mut runs)
+            .map_err(VmmError::from)
+            .and_then(|outcome| Ok((outcome, self.back_runs(host, &runs, cost)?)));
+        self.fault_runs = runs;
+        let (outcome, backing) = result?;
+        debug_assert_eq!(
+            self.fault_runs.iter().map(|r| r.count).sum::<u64>(),
+            outcome.new_pages
+        );
         let miss_bytes_mib = outcome.new_pages * PAGE_SIZE / (1 << 20);
         let hit_bytes_mib = outcome.cached_pages * PAGE_SIZE / (1 << 20);
         let latency = SimDuration::nanos(cost.disk_read_mib_ns * miss_bytes_mib)
@@ -326,6 +335,29 @@ impl Vm {
         host.reserve(fresh.len() as u64 * PAGE_SIZE)?;
         let newly = self.ept.populate(&fresh);
         debug_assert_eq!(newly, fresh.len() as u64);
+        Ok(FaultCharge {
+            newly_backed: newly,
+            latency: cost.ept_faults(newly),
+            ..FaultCharge::default()
+        })
+    }
+
+    /// Backs contiguous frame runs with host memory — the range-based
+    /// sibling of [`Vm::back_pages`]: one reservation for the whole
+    /// burst, then word-granular EPT populates per run.
+    fn back_runs(
+        &mut self,
+        host: &mut HostMemory,
+        runs: &[FrameRange],
+        cost: &CostModel,
+    ) -> Result<FaultCharge, VmmError> {
+        let fresh: u64 = runs.iter().map(|&r| self.ept.count_unbacked(r)).sum();
+        host.reserve(fresh * PAGE_SIZE)?;
+        let mut newly = 0;
+        for &r in runs {
+            newly += self.ept.populate_range(r);
+        }
+        debug_assert_eq!(newly, fresh);
         Ok(FaultCharge {
             newly_backed: newly,
             latency: cost.ept_faults(newly),
