@@ -6,7 +6,9 @@
 //! ```text
 //! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid|cluster|fleet]
 //!       [--quick] [--jobs N] [--trials N] [--json <path>]
+//! repro perf [--trace] [--quick] [--json <path>]
 //! repro run <spec.scn>... [--quick] [--jobs N] [--trials N] [--json <path>]
+//! repro gen-trace
 //! repro scenarios
 //! ```
 //!
@@ -14,6 +16,11 @@
 //!   format; see `examples/scenarios/`) with one report section per
 //!   spec. Specs are parsed and validated up front: a bad file fails
 //!   before anything runs.
+//! * `repro perf --trace` — the streaming-replay benchmark: a frozen
+//!   fleet pulls a multi-day azure-minute trace lazily off disk and the
+//!   run asserts every tracked-sample accumulator stays under its cap.
+//! * `repro gen-trace` — (re)write the committed example traces under
+//!   `examples/traces/` from their pinned generators, byte-identically.
 //! * `repro scenarios` — list the scenario registry (workloads,
 //!   topologies, backends, routers, policies, spec keys).
 //! * `--jobs N` — shard each experiment grid over `N` worker threads
@@ -34,7 +41,7 @@ use squeezy_bench as bench;
 
 /// Every target the CLI accepts, in help order. Unknown targets are
 /// rejected at parse time against this list.
-const TARGETS: [&str; 21] = [
+const TARGETS: [&str; 22] = [
     "all",
     "table1",
     "fig1",
@@ -55,6 +62,7 @@ const TARGETS: [&str; 21] = [
     "fleet",
     "perf",
     "run",
+    "gen-trace",
     "scenarios",
 ];
 
@@ -63,6 +71,9 @@ struct Args {
     /// Spec files following the `run` target.
     files: Vec<String>,
     quick: bool,
+    /// `perf --trace`: run the streaming-replay benchmark instead of
+    /// the drumbeat cluster.
+    trace: bool,
     opts: ExpOpts,
     json: Option<String>,
 }
@@ -71,12 +82,14 @@ fn parse_args() -> Args {
     let mut what: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut trace = false;
     let mut opts = ExpOpts::auto();
     let mut json = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--trace" => trace = true,
             "--jobs" => {
                 let v = it.next().unwrap_or_else(|| die("--jobs needs a value"));
                 opts.jobs = v.parse().unwrap_or_else(|_| die("--jobs expects a number"));
@@ -113,10 +126,14 @@ fn parse_args() -> Args {
     if what == "run" && files.is_empty() {
         die("run needs at least one scenario spec file (see `repro scenarios`)");
     }
+    if trace && what != "perf" {
+        die("--trace only applies to the perf target");
+    }
     Args {
         what,
         files,
         quick,
+        trace,
         opts,
         json,
     }
@@ -189,10 +206,36 @@ fn load_scenarios(files: &[String], quick: bool) -> Vec<(String, Scenario)> {
         .collect()
 }
 
+/// (Re)writes the committed example traces from their pinned in-crate
+/// generators. Paths are anchored on the crate manifest, so this lands
+/// in `examples/traces/` whatever the working directory; the output is
+/// byte-deterministic and a bench test pins the committed files to it.
+fn gen_traces() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/traces");
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir}: {e}")));
+    let files = [
+        ("azure_3day.csv", workloads::sample_azure_3day()),
+        ("opendc_sample.csv", workloads::sample_opendc()),
+    ];
+    for (name, text) in files {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, &text).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!(
+            "wrote {name} ({} bytes, fnv1a {:016x})",
+            text.len(),
+            fnv1a(&text)
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.what == "scenarios" {
         print!("{}", faas::scenario::registry_help());
+        return;
+    }
+    if args.what == "gen-trace" {
+        gen_traces();
         return;
     }
     let all = args.what == "all";
@@ -394,7 +437,7 @@ fn main() {
         let perf_cell = perf_cell.clone();
         add(
             "Perf",
-            args.what == "perf",
+            args.what == "perf" && !args.trace,
             Box::new(move || {
                 let cfg = if quick {
                     bench::perf::PerfConfig::quick()
@@ -404,6 +447,29 @@ fn main() {
                 let cell = bench::perf::run(&cfg);
                 let text = bench::perf::render(&cell);
                 *perf_cell.lock().expect("perf cell lock") = Some(cell);
+                text
+            }),
+        );
+    }
+    // The streaming-replay variant (`perf --trace`): wall-time numbers
+    // vary by machine like the drumbeat benchmark, and the cell lands
+    // in the JSON summary the same way.
+    let trace_cell: std::sync::Arc<std::sync::Mutex<Option<bench::perf::TracePerfCell>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(None));
+    {
+        let trace_cell = trace_cell.clone();
+        add(
+            "Perf (trace replay)",
+            args.what == "perf" && args.trace,
+            Box::new(move || {
+                let cfg = if quick {
+                    bench::perf::TracePerfConfig::quick()
+                } else {
+                    bench::perf::TracePerfConfig::paper()
+                };
+                let cell = bench::perf::run_trace(&cfg);
+                let text = bench::perf::render_trace(&cell);
+                *trace_cell.lock().expect("trace cell lock") = Some(cell);
                 text
             }),
         );
@@ -452,7 +518,15 @@ fn main() {
 
     if let Some(path) = args.json {
         let perf = perf_cell.lock().expect("perf cell lock");
-        let json = to_json(&sections, total_s, quick, &opts, perf.as_ref());
+        let trace = trace_cell.lock().expect("trace cell lock");
+        let json = to_json(
+            &sections,
+            total_s,
+            quick,
+            &opts,
+            perf.as_ref(),
+            trace.as_ref(),
+        );
         std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         eprintln!("[repro] wrote {path}");
     }
@@ -482,6 +556,7 @@ fn to_json(
     quick: bool,
     opts: &ExpOpts,
     perf: Option<&bench::perf::PerfCell>,
+    perf_trace: Option<&bench::perf::TracePerfCell>,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"suite\": \"squeezy-repro\",\n");
@@ -499,6 +574,27 @@ fn to_json(
             p.completed,
             p.events,
             p.peak_depth,
+            p.setup_s,
+            p.run_s,
+            p.events_per_sec
+        ));
+    }
+    if let Some(p) = perf_trace {
+        s.push_str(&format!(
+            "  \"perf_trace\": {{\"hosts\": {}, \"minutes\": {}, \"invocations\": {}, \
+             \"completed\": {}, \"events_processed\": {}, \"peak_queue_depth\": {}, \
+             \"reservoir_len\": {}, \"max_func_samples\": {}, \"peak_rss_mib\": {}, \
+             \"setup_wall_s\": {:.3}, \"run_wall_s\": {:.3}, \"events_per_sec\": {:.0}}},\n",
+            p.hosts,
+            p.minutes,
+            p.invocations,
+            p.completed,
+            p.events,
+            p.peak_depth,
+            p.reservoir_len,
+            p.max_func_samples,
+            p.peak_rss_mib
+                .map_or_else(|| "null".to_string(), |m| format!("{m:.1}")),
             p.setup_s,
             p.run_s,
             p.events_per_sec

@@ -1,0 +1,93 @@
+//! The committed example traces are pinned to their generators: the
+//! files under `examples/traces/` must be byte-identical to what
+//! `repro gen-trace` writes, and the committed replay scenario must
+//! point at them. Regenerate with
+//!
+//! ```text
+//! cargo run --release -p squeezy-bench --bin repro -- gen-trace
+//! ```
+
+use faas::{PolicyKind, Scenario, Topology};
+use workloads::{FunctionKind, TraceFormat};
+
+/// Repo-root-relative path, anchored on this crate's manifest so the
+/// tests pass whatever the working directory.
+fn repo(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn committed_azure_trace_matches_its_generator() {
+    let committed = std::fs::read_to_string(repo("examples/traces/azure_3day.csv"))
+        .expect("examples/traces/azure_3day.csv is committed (run `repro gen-trace`)");
+    assert!(
+        committed == workloads::sample_azure_3day(),
+        "azure_3day.csv drifted from its generator; rerun `repro gen-trace`"
+    );
+}
+
+#[test]
+fn committed_opendc_trace_matches_its_generator() {
+    let committed = std::fs::read_to_string(repo("examples/traces/opendc_sample.csv"))
+        .expect("examples/traces/opendc_sample.csv is committed (run `repro gen-trace`)");
+    assert!(
+        committed == workloads::sample_opendc(),
+        "opendc_sample.csv drifted from its generator; rerun `repro gen-trace`"
+    );
+}
+
+#[test]
+fn committed_replay_scenario_points_at_the_committed_trace() {
+    let text = std::fs::read_to_string(repo("examples/scenarios/trace_replay.scn"))
+        .expect("examples/scenarios/trace_replay.scn is committed");
+    let spec = Scenario::parse(&text).expect("spec parses");
+    assert_eq!(
+        spec.workload.key(),
+        "trace(examples/traces/azure_3day.csv)",
+        "the replay spec streams the committed 3-day trace"
+    );
+    assert_eq!(spec.topology, Topology::Fleet);
+    assert_eq!(
+        spec.policy,
+        PolicyKind::Fixed,
+        "frozen fleet stays at max_hosts"
+    );
+    assert_eq!(spec.params.duration_s, 3.0 * 86400.0, "multi-day replay");
+
+    // The trace header carries the Table-1 tenant mix the spec's fleet
+    // template is built from.
+    let header = workloads::read_trace_header(&repo("examples/traces/azure_3day.csv"))
+        .expect("trace header parses");
+    assert_eq!(header.format, TraceFormat::AzureMinute);
+    assert_eq!(
+        header.kinds,
+        vec![
+            FunctionKind::Html,
+            FunctionKind::Cnn,
+            FunctionKind::Bfs,
+            FunctionKind::Bert
+        ]
+    );
+}
+
+/// The multi-million-invocation claim, checked against the committed
+/// file itself: a full validation scan expands every minute row.
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "full 2M+-arrival scan; enable with --features slow-tests"
+)]
+fn committed_azure_trace_expands_to_two_million_invocations() {
+    let stats = workloads::validate_trace(&repo("examples/traces/azure_3day.csv"))
+        .expect("trace validates");
+    assert!(
+        stats.arrivals >= 2_000_000,
+        "3-day trace offers 2M+ invocations (got {})",
+        stats.arrivals
+    );
+    let end_s = stats.end_ns as f64 / 1e9;
+    assert!(
+        end_s > 2.9 * 86400.0 && end_s < 3.0 * 86400.0,
+        "arrivals span the full 3 days (last at {end_s:.0}s)"
+    );
+}

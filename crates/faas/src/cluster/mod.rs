@@ -23,11 +23,12 @@ pub use router::{
 
 use std::collections::BTreeMap;
 
-use sim_core::{DetRng, EventQueue, Histogram, Reservoir, SimDuration, SimTime};
+use sim_core::{DetRng, EventQueue, Histogram, Reservoir, SimTime};
 use vmm::VmmError;
-use workloads::FunctionKind;
+use workloads::{FunctionKind, TraceSource};
 
 use crate::config::SimConfig;
+use crate::feed::ArrivalFeed;
 use crate::metrics::SimResult;
 use crate::sim::events::{Event, EventSink};
 use crate::sim::host::HostSim;
@@ -126,10 +127,10 @@ impl ClusterConfig {
     }
 }
 
-/// Events of the shared cluster engine.
+/// Events of the shared cluster engine. Tenant arrivals never enter
+/// the queue: the run loop pulls them lazily from an [`ArrivalFeed`]
+/// and routes them inline, so queue memory is O(pending host events).
 enum ClusterEvent {
-    /// A tenant request arrives and must be routed.
-    Incoming { tenant: usize },
     /// A host-internal event.
     Host { host: usize, ev: Event },
 }
@@ -173,11 +174,14 @@ pub struct ClusterResult {
     /// whole cluster — time-resolved latency for long runs without
     /// per-request memory (see [`LATENCY_RESERVOIR_CAP`]).
     pub latency_over_time: Reservoir,
-    /// Total events the shared engine popped (the events/sec numerator
-    /// of `repro perf`).
+    /// Total events the shared engine processed — queue pops plus fed
+    /// arrivals (the events/sec numerator of `repro perf`).
     pub events_processed: u64,
     /// High-water mark of the shared event queue.
     pub peak_queue_depth: usize,
+    /// Arrivals the feed injected (the offered load actually replayed,
+    /// whether from materialized traces or a streamed file).
+    pub injected: u64,
 }
 
 impl ClusterResult {
@@ -220,20 +224,57 @@ pub struct ClusterSim {
     tenants: Vec<TenantTrace>,
     router: Box<dyn Router>,
     events: EventQueue<ClusterEvent>,
+    feed: ArrivalFeed,
     routed: Vec<Vec<u64>>,
     latency_over_time: Reservoir,
 }
 
 impl ClusterSim {
-    /// Boots every host and schedules the tenant traces (in tenant
-    /// order, then one sample chain per host — the same construction
-    /// order as the single-host simulator).
-    pub fn new(config: ClusterConfig, router: Box<dyn Router>) -> Result<ClusterSim, VmmError> {
+    /// Boots every host and takes the tenant traces into a lazy feed
+    /// (tenant-ordered, exactly the order the former pre-push used);
+    /// only the per-host sample chains enter the queue up front.
+    pub fn new(mut config: ClusterConfig, router: Box<dyn Router>) -> Result<ClusterSim, VmmError> {
+        let duration_s = ClusterSim::check(&config);
+        let slots = config
+            .tenants
+            .iter_mut()
+            .map(|t| std::mem::take(&mut t.arrivals))
+            .collect();
+        let feed = ArrivalFeed::merged(slots, duration_s);
+        ClusterSim::build(config, router, feed, false)
+    }
+
+    /// Boots every host and streams arrivals from a trace source:
+    /// tenant `i` of the trace addresses `config.tenants[i]`'s
+    /// `(vm, dep)` slot (any materialized arrivals in the config are
+    /// ignored). Hosts run in bounded-metrics mode so memory stays
+    /// constant over multi-million-invocation replays. `origin` names
+    /// the trace in diagnostics.
+    pub fn with_source(
+        config: ClusterConfig,
+        router: Box<dyn Router>,
+        source: Box<dyn TraceSource>,
+        origin: &str,
+    ) -> Result<ClusterSim, VmmError> {
+        let duration_s = ClusterSim::check(&config);
+        let feed = ArrivalFeed::stream(source, duration_s, origin);
+        ClusterSim::build(config, router, feed, true)
+    }
+
+    fn check(config: &ClusterConfig) -> f64 {
         assert!(
             !config.hosts.is_empty(),
             "a cluster needs at least one host"
         );
-        let duration_s = config.hosts[0].duration_s;
+        config.hosts[0].duration_s
+    }
+
+    fn build(
+        config: ClusterConfig,
+        router: Box<dyn Router>,
+        feed: ArrivalFeed,
+        bounded: bool,
+    ) -> Result<ClusterSim, VmmError> {
         let reservoir_rng = DetRng::new(config.hosts[0].seed).derive(RESERVOIR_STREAM);
         let mut hosts: Vec<HostSim> = config
             .hosts
@@ -242,16 +283,11 @@ impl ClusterSim {
             .collect::<Result<_, _>>()?;
         for h in &mut hosts {
             h.enable_latency_tap();
-        }
-        let mut events = EventQueue::new();
-        for (ti, t) in config.tenants.iter().enumerate() {
-            for &a in t.arrivals.iter().filter(|&&a| a < duration_s) {
-                events.push(
-                    SimTime::ZERO + SimDuration::from_secs_f64(a),
-                    ClusterEvent::Incoming { tenant: ti },
-                );
+            if bounded {
+                h.enable_bounded_metrics();
             }
         }
+        let mut events = EventQueue::new();
         for host in 0..hosts.len() {
             events.push(
                 SimTime::ZERO,
@@ -267,9 +303,39 @@ impl ClusterSim {
             tenants: config.tenants,
             router,
             events,
+            feed,
             routed,
             latency_over_time: Reservoir::new(LATENCY_RESERVOIR_CAP, reservoir_rng),
         })
+    }
+
+    /// Routes one tenant arrival at `now` and returns the chosen host.
+    fn route_arrival(
+        &mut self,
+        now: SimTime,
+        tenant: usize,
+        needs_loads: bool,
+        loads: &mut Vec<HostLoad>,
+    ) -> usize {
+        let t = &self.tenants[tenant];
+        if needs_loads {
+            loads.clear();
+            loads.extend(self.hosts.iter().map(|h| h.load_snapshot(t.vm, t.dep)));
+        }
+        let h = self.router.route(tenant, loads);
+        assert!(
+            h < self.hosts.len(),
+            "router returned host {h} of {}",
+            self.hosts.len()
+        );
+        self.routed[h][tenant] += 1;
+        let (vm, dep) = (t.vm, t.dep);
+        let mut sink = HostSink {
+            q: &mut self.events,
+            host: h,
+        };
+        self.hosts[h].handle(now, Event::Arrival { vm, dep }, &mut sink);
+        h
     }
 
     /// Runs the cluster to completion.
@@ -289,49 +355,37 @@ impl ClusterSim {
             };
             self.hosts.len()
         ];
-        // Batched pops: one wheel advance serves every event of a tick,
-        // in the exact (time, seq) order sequential pops would yield.
+        // Two-stream merge with batched pops: a fed arrival is routed
+        // inline whenever its time is <= the queue's next tick (it
+        // would have held the lower sequence number in the pre-push
+        // era), otherwise one tick's batch pops — in the exact (time,
+        // seq) order sequential pops would yield.
         let mut batch = Vec::new();
-        while let Some(now) = self.events.pop_batch(&mut batch) {
-            for ev in batch.drain(..) {
-                let touched = match ev {
-                    ClusterEvent::Incoming { tenant } => {
-                        let t = &self.tenants[tenant];
-                        if needs_loads {
-                            loads.clear();
-                            loads.extend(self.hosts.iter().map(|h| h.load_snapshot(t.vm, t.dep)));
-                        }
-                        let h = self.router.route(tenant, &loads);
-                        assert!(
-                            h < self.hosts.len(),
-                            "router returned host {h} of {}",
-                            self.hosts.len()
-                        );
-                        self.routed[h][tenant] += 1;
-                        let (vm, dep) = (t.vm, t.dep);
-                        let mut sink = HostSink {
-                            q: &mut self.events,
-                            host: h,
-                        };
-                        self.hosts[h].handle(now, Event::Arrival { vm, dep }, &mut sink);
-                        h
-                    }
-                    ClusterEvent::Host { host, ev } => {
-                        let mut sink = HostSink {
-                            q: &mut self.events,
-                            host,
-                        };
-                        self.hosts[host].handle(now, ev, &mut sink);
-                        host
-                    }
-                };
-                for &(_, arrival_s, latency_ms) in self.hosts[touched].recent_latencies() {
-                    self.latency_over_time.offer(arrival_s, latency_ms);
+        loop {
+            let arrival_next = match (self.feed.peek(), self.events.peek_time()) {
+                (Some((at, _)), Some(qt)) => at <= qt,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if arrival_next {
+                let (at, tenant) = self.feed.pop().expect("peeked");
+                let touched = self.route_arrival(at, tenant, needs_loads, &mut loads);
+                self.drain_tap(touched);
+            } else if let Some(now) = self.events.pop_batch(&mut batch) {
+                for ev in batch.drain(..) {
+                    let ClusterEvent::Host { host, ev } = ev;
+                    let mut sink = HostSink {
+                        q: &mut self.events,
+                        host,
+                    };
+                    self.hosts[host].handle(now, ev, &mut sink);
+                    self.drain_tap(host);
                 }
-                self.hosts[touched].clear_recent_latencies();
             }
         }
-        let events_processed = self.events.processed();
+        let injected = self.feed.injected();
+        let events_processed = self.events.processed() + injected;
         let peak_queue_depth = self.events.peak_len();
         let hosts: Vec<SimResult> = self.hosts.into_iter().map(HostSim::finish).collect();
         let completed = hosts.iter().map(|h| h.completed).sum();
@@ -342,7 +396,17 @@ impl ClusterSim {
             latency_over_time: self.latency_over_time,
             events_processed,
             peak_queue_depth,
+            injected,
         }
+    }
+
+    /// Moves the touched host's freshly recorded completions into the
+    /// cluster reservoir.
+    fn drain_tap(&mut self, host: usize) {
+        for &(_, arrival_s, latency_ms) in self.hosts[host].recent_latencies() {
+            self.latency_over_time.offer(arrival_s, latency_ms);
+        }
+        self.hosts[host].clear_recent_latencies();
     }
 }
 

@@ -46,12 +46,13 @@ use std::collections::BTreeMap;
 
 use sim_core::{DetRng, EventQueue, Histogram, Reservoir, SimDuration, SimTime, TimeSeries};
 use vmm::VmmError;
-use workloads::FunctionKind;
+use workloads::{FunctionKind, TraceSource};
 
 use crate::cluster::{
     ClusterConfig, HostLoad, Router, TenantTrace, LATENCY_RESERVOIR_CAP, RESERVOIR_STREAM,
 };
 use crate::config::SimConfig;
+use crate::feed::ArrivalFeed;
 use crate::metrics::SimResult;
 use crate::sim::events::{Event, EventSink};
 use crate::sim::host::HostSim;
@@ -325,6 +326,13 @@ pub struct FleetResult {
     pub latency_over_time: Reservoir,
     /// Active (routable) host count over time.
     pub active_hosts_over_time: TimeSeries,
+    /// Total events handled: queue pops plus fed arrivals.
+    pub events_processed: u64,
+    /// High-water mark of the pending event queue — with arrivals fed
+    /// lazily this tracks O(in-flight work), not O(trace length).
+    pub peak_queue_depth: usize,
+    /// Arrivals injected from the feed (trace or materialized).
+    pub injected: u64,
     /// Simulated end time.
     pub end: SimTime,
 }
@@ -407,6 +415,10 @@ pub struct FleetSim {
     slots_per_host: usize,
     hosts: Vec<Slot>,
     events: EventQueue<FleetEvent>,
+    feed: ArrivalFeed,
+    /// Streamed-trace runs bound their metric memory; booted hosts
+    /// must inherit the discipline.
+    bounded_metrics: bool,
     routed: Vec<Vec<u64>>,
     injector: FailureInjector,
     /// Completions since the last control tick (policy window);
@@ -433,10 +445,45 @@ impl FleetSim {
     /// arrivals in tenant order, then one sample chain per host — so a
     /// fixed fleet's event queue is byte-identical to the cluster's.
     pub fn new(
-        config: FleetConfig,
+        mut config: FleetConfig,
         router: Box<dyn Router>,
         policy: Box<dyn AutoscalePolicy>,
     ) -> Result<FleetSim, VmmError> {
+        let duration_s = Self::check(&config);
+        let slots: Vec<Vec<f64>> = config
+            .tenants
+            .iter_mut()
+            .map(|t| std::mem::take(&mut t.arrivals))
+            .collect();
+        let feed = ArrivalFeed::merged(slots, duration_s);
+        Self::build(config, router, policy, feed, false)
+    }
+
+    /// Builds a fleet whose arrivals stream from a [`TraceSource`]:
+    /// tenant index = the source's tenant column, mapped through
+    /// [`FleetConfig::tenants`] for `(vm, dep)` slots. The source is
+    /// pulled lazily during [`Self::run`], so queue depth — and with it
+    /// memory — stays proportional to in-flight work, never to trace
+    /// length. Per-host metrics run in bounded mode (reservoir
+    /// histograms, streamed usage integral), booted hosts included.
+    ///
+    /// `origin` labels mid-run parse failures (the path, usually).
+    pub fn with_source(
+        mut config: FleetConfig,
+        router: Box<dyn Router>,
+        policy: Box<dyn AutoscalePolicy>,
+        source: Box<dyn TraceSource>,
+        origin: &str,
+    ) -> Result<FleetSim, VmmError> {
+        let duration_s = Self::check(&config);
+        for t in config.tenants.iter_mut() {
+            t.arrivals.clear();
+        }
+        let feed = ArrivalFeed::stream(source, duration_s, origin);
+        Self::build(config, router, policy, feed, true)
+    }
+
+    fn check(config: &FleetConfig) -> f64 {
         assert!(
             !config.initial_hosts.is_empty(),
             "a fleet needs at least one initial host"
@@ -446,6 +493,16 @@ impl FleetSim {
             config.autoscale.max_hosts >= config.autoscale.min_hosts,
             "max_hosts must be ≥ min_hosts"
         );
+        config.initial_hosts[0].duration_s
+    }
+
+    fn build(
+        config: FleetConfig,
+        router: Box<dyn Router>,
+        policy: Box<dyn AutoscalePolicy>,
+        feed: ArrivalFeed,
+        bounded_metrics: bool,
+    ) -> Result<FleetSim, VmmError> {
         let duration_s = config.initial_hosts[0].duration_s;
         let slots_per_host = config.slots_per_host().max(1);
         let reservoir_rng = DetRng::new(config.seed).derive(RESERVOIR_STREAM);
@@ -455,6 +512,9 @@ impl FleetSim {
         for cfg in config.initial_hosts {
             let mut sim = HostSim::new(cfg)?;
             sim.enable_latency_tap();
+            if bounded_metrics {
+                sim.enable_bounded_metrics();
+            }
             hosts.push(Slot {
                 sim,
                 state: HostState::Active,
@@ -464,14 +524,6 @@ impl FleetSim {
         }
 
         let mut events = EventQueue::new();
-        for (ti, t) in config.tenants.iter().enumerate() {
-            for &a in t.arrivals.iter().filter(|&&a| a < duration_s) {
-                events.push(
-                    SimTime::ZERO + SimDuration::from_secs_f64(a),
-                    FleetEvent::Incoming { tenant: ti },
-                );
-            }
-        }
         for host in 0..hosts.len() {
             events.push(
                 SimTime::ZERO,
@@ -525,6 +577,8 @@ impl FleetSim {
             slots_per_host,
             hosts,
             events,
+            feed,
+            bounded_metrics,
             routed,
             injector,
             recent_window: Vec::new(),
@@ -544,33 +598,52 @@ impl FleetSim {
 
     /// Runs the fleet to completion.
     pub fn run(mut self) -> FleetResult {
-        // Batched pops: one wheel advance serves every event of a tick,
-        // in the exact (time, seq) order sequential pops would yield.
+        // Two-stream merge: arrivals are pulled from the feed the
+        // moment they are due (ties go to the arrival — fed arrivals
+        // always sorted before same-tick queue events in the pre-push
+        // era, whose total order this loop reproduces byte-for-byte),
+        // everything else pops from the queue in batched (time, seq)
+        // order. Deferral retries and crash requeues still travel as
+        // queued [`FleetEvent::Incoming`] events.
         let mut batch = Vec::new();
-        while let Some(now) = self.events.pop_batch(&mut batch) {
-            for ev in batch.drain(..) {
-                match ev {
-                    FleetEvent::Incoming { tenant } => self.on_incoming(now, tenant),
-                    FleetEvent::Host { host, ev } => {
-                        // Retired and failed hosts are gone: their residual
-                        // events (keep-alives, sample chains) evaporate.
-                        if !self.hosts[host].is_live() {
-                            continue;
+        loop {
+            let arrival_next = match (self.feed.peek(), self.events.peek_time()) {
+                (Some((at, _)), Some(qt)) => at <= qt,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if arrival_next {
+                let (at, tenant) = self.feed.pop().expect("peeked");
+                self.on_incoming(at, tenant);
+            } else if let Some(now) = self.events.pop_batch(&mut batch) {
+                for ev in batch.drain(..) {
+                    match ev {
+                        FleetEvent::Incoming { tenant } => self.on_incoming(now, tenant),
+                        FleetEvent::Host { host, ev } => {
+                            // Retired and failed hosts are gone: their residual
+                            // events (keep-alives, sample chains) evaporate.
+                            if !self.hosts[host].is_live() {
+                                continue;
+                            }
+                            let mut sink = HostSink {
+                                q: &mut self.events,
+                                host,
+                            };
+                            self.hosts[host].sim.handle(now, ev, &mut sink);
+                            self.drain_tap(host);
+                            self.maybe_retire(now, host);
                         }
-                        let mut sink = HostSink {
-                            q: &mut self.events,
-                            host,
-                        };
-                        self.hosts[host].sim.handle(now, ev, &mut sink);
-                        self.drain_tap(host);
-                        self.maybe_retire(now, host);
+                        FleetEvent::Control => self.on_control(now),
+                        FleetEvent::HostReady { host } => self.on_host_ready(now, host),
+                        FleetEvent::Crash => self.on_crash(now),
                     }
-                    FleetEvent::Control => self.on_control(now),
-                    FleetEvent::HostReady { host } => self.on_host_ready(now, host),
-                    FleetEvent::Crash => self.on_crash(now),
                 }
             }
         }
+        let injected = self.feed.injected();
+        let events_processed = self.events.processed() + injected;
+        let peak_queue_depth = self.events.peak_len();
         let end = SimTime::ZERO + SimDuration::from_secs_f64(self.duration_s);
         let hosts: Vec<HostOutcome> = self
             .hosts
@@ -600,6 +673,9 @@ impl FleetSim {
             slo_total: self.slo_total,
             latency_over_time: self.latency_over_time,
             active_hosts_over_time: self.active_hosts_over_time,
+            events_processed,
+            peak_queue_depth,
+            injected,
             end,
         }
     }
@@ -776,6 +852,9 @@ impl FleetSim {
                 .seed();
             let mut sim = HostSim::new(cfg).expect("fleet template host boots");
             sim.enable_latency_tap();
+            if self.bounded_metrics {
+                sim.enable_bounded_metrics();
+            }
             self.hosts.push(Slot {
                 sim,
                 state: HostState::Booting,

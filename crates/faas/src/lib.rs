@@ -39,6 +39,7 @@
 pub(crate) mod backend;
 pub mod cluster;
 pub mod config;
+pub(crate) mod feed;
 pub mod fleet;
 pub mod hybrid;
 pub mod metrics;
@@ -59,5 +60,5 @@ pub use fleet::{
 pub use hybrid::{absorb_burst, BurstOutcome, ScaleStrategy};
 pub use metrics::{FuncMetrics, ReclaimTotals, SimResult};
 pub use microvm::{microvm_cold_start, n_to_one_cold_start, ColdStartBreakdown};
-pub use scenario::{FleetStats, Scenario, ScenarioOutcome, ScenarioResult, Topology};
+pub use scenario::{FleetStats, Scenario, ScenarioOutcome, ScenarioResult, Topology, WorkloadSpec};
 pub use sim::FaasSim;

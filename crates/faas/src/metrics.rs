@@ -86,12 +86,20 @@ pub struct SimResult {
     pub completed: u64,
     /// Simulated end time.
     pub end: SimTime,
+    /// Exact host-usage integral in bytes·s, accumulated in streaming
+    /// fashion when the host ran in bounded-metrics mode (where
+    /// `host_usage` stays empty). `None` for ordinary runs — and not
+    /// part of [`Self::digest`], so legacy digests are unchanged.
+    pub exact_host_usage_integral: Option<f64>,
 }
 
 impl SimResult {
     /// Integrated host memory footprint in GiB·s (Figure 10 right).
     pub fn gib_seconds(&self) -> f64 {
-        self.host_usage.integral_until(self.end) / (1u64 << 30) as f64
+        let bytes_s = self
+            .exact_host_usage_integral
+            .unwrap_or_else(|| self.host_usage.integral_until(self.end));
+        bytes_s / (1u64 << 30) as f64
     }
 
     /// P99 latency (ms) for one function.
@@ -227,6 +235,7 @@ mod tests {
             reclaims: vec![],
             completed: 0,
             end: SimTime::ZERO + SimDuration::secs(10),
+            exact_host_usage_integral: None,
         };
         assert!((result.gib_seconds() - 20.0).abs() < 1e-9);
     }

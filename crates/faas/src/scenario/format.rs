@@ -19,9 +19,9 @@
 //! `scenario_roundtrip` property test pins it.
 
 use mem_types::{GIB, MIB};
-use workloads::{FunctionKind, WorkloadKind};
+use workloads::FunctionKind;
 
-use super::{Scenario, Topology};
+use super::{Scenario, Topology, WorkloadSpec};
 use crate::cluster::RouterKind;
 use crate::config::BackendKind;
 use crate::fleet::PolicyKind;
@@ -124,7 +124,7 @@ impl Scenario {
         kv("name", self.name.clone());
         kv("topology", self.topology.key());
         kv("backend", backends.join(", "));
-        kv("workload", self.workload.key().to_string());
+        kv("workload", self.workload.key());
         kv("tenants", format!("{}", p.tenants));
         kv("rps", format!("{:?}", p.rps));
         kv("trough_rps", format!("{:?}", p.trough_rps));
@@ -196,7 +196,7 @@ impl Scenario {
         // absence is fatal for this pass — but still reported together.
         let name = find("name").map(|(_, _, v)| v);
         let topology = find("topology").map(|(ln, _, v)| (ln, Topology::from_key(v)));
-        let workload = find("workload").map(|(ln, _, v)| (ln, WorkloadKind::from_key(v)));
+        let workload = find("workload").map(|(ln, _, v)| (ln, WorkloadSpec::from_key(v)));
         for (key, present) in [
             ("name", name.is_some()),
             ("topology", topology.is_some()),
@@ -286,6 +286,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use workloads::WorkloadKind;
 
     fn fleet_spec() -> Scenario {
         let mut s = Scenario::new("fleet-slam", Topology::Fleet, WorkloadKind::Diurnal);

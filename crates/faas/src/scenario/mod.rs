@@ -58,6 +58,67 @@ pub(crate) const TEMPLATE_TAG: u64 = 0x3E;
 /// Derivation tag of the fleet's own streams (crash plan, reservoir).
 pub(crate) const FLEET_STREAM: u64 = 0xF1EE;
 
+/// The workload a scenario drives: a named generator from the
+/// [`workloads::registry`], or a trace file streamed from disk.
+///
+/// Named workloads materialize their arrival lists up front — fine at
+/// experiment scale. `trace(<path>)` replays an on-disk trace
+/// (azure-minute or opendc, see [`workloads::TRACE_MAGIC`]) through
+/// the lazy [`workloads::TraceSource`] path instead, so a multi-day,
+/// multi-million-invocation replay never holds more than the pending
+/// events in memory. The trace file also replaces the `tenants`/`rps`
+/// workload params: its `# tenants = ...` directive defines the
+/// deployment slots.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// A named generator ([`WorkloadKind`]).
+    Named(WorkloadKind),
+    /// A trace file, replayed lazily from disk.
+    Trace(String),
+}
+
+impl WorkloadSpec {
+    /// Registry key used by spec files (`trace(<path>)` carries its
+    /// path).
+    pub fn key(&self) -> String {
+        match self {
+            WorkloadSpec::Named(k) => k.key().to_string(),
+            WorkloadSpec::Trace(path) => format!("trace({path})"),
+        }
+    }
+
+    /// Parses a workload key; `Err` carries the valid forms.
+    pub fn from_key(key: &str) -> Result<WorkloadSpec, String> {
+        if let Some(inner) = key
+            .strip_prefix("trace(")
+            .and_then(|rest| rest.strip_suffix(')'))
+        {
+            if inner.is_empty() {
+                return Err("trace(<path>) needs a file path".to_string());
+            }
+            return Ok(WorkloadSpec::Trace(inner.to_string()));
+        }
+        match WorkloadKind::from_key(key) {
+            Ok(k) => Ok(WorkloadSpec::Named(k)),
+            Err(e) => Err(format!("{e}, or trace(<path>)")),
+        }
+    }
+}
+
+impl From<WorkloadKind> for WorkloadSpec {
+    fn from(kind: WorkloadKind) -> WorkloadSpec {
+        WorkloadSpec::Named(kind)
+    }
+}
+
+/// Named-workload comparisons read naturally at call sites
+/// (`spec.workload == WorkloadKind::Diurnal`).
+impl PartialEq<WorkloadKind> for WorkloadSpec {
+    fn eq(&self, other: &WorkloadKind) -> bool {
+        matches!(self, WorkloadSpec::Named(k) if k == other)
+    }
+}
+
 /// Which simulator a scenario runs on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Topology {
@@ -118,8 +179,8 @@ pub struct Scenario {
     /// The elasticity backends to sweep — one [`ScenarioResult`] cell
     /// per backend, all under identical traces (paired comparison).
     pub backends: Vec<BackendKind>,
-    /// Named workload generator (see [`WorkloadKind`]).
-    pub workload: WorkloadKind,
+    /// The workload: a named generator or a streamed trace file.
+    pub workload: WorkloadSpec,
     /// The workload parameter block (tenants, rates, duration, ...).
     pub params: WorkloadParams,
     /// Per-tenant max concurrent instances on each host.
@@ -157,12 +218,12 @@ impl Scenario {
     /// A scenario with the registry defaults: Squeezy backend,
     /// least-loaded router, fixed fleet policy, 6 GiB hosts, seed 42,
     /// one trial.
-    pub fn new(name: &str, topology: Topology, workload: WorkloadKind) -> Scenario {
+    pub fn new(name: &str, topology: Topology, workload: impl Into<WorkloadSpec>) -> Scenario {
         Scenario {
             name: name.to_string(),
             topology,
             backends: vec![BackendKind::Squeezy],
-            workload,
+            workload: workload.into(),
             params: WorkloadParams::default(),
             concurrency: 2,
             keepalive_s: 20.0,
@@ -225,6 +286,15 @@ impl Scenario {
             p.zipf_exponent.is_finite() && p.zipf_exponent >= 0.0,
             format!("zipf_exponent must be ≥ 0 (got {})", p.zipf_exponent),
         );
+        if let WorkloadSpec::Trace(path) = &self.workload {
+            // Same round-trip constraint as the name: the path lives
+            // inside one `workload = trace(<path>)` line.
+            check(
+                !path.is_empty() && !path.contains('\n') && path.trim() == path,
+                "trace path must be non-empty and single-line, without leading/trailing whitespace"
+                    .to_string(),
+            );
+        }
         if self.workload == WorkloadKind::Diurnal {
             check(
                 positive(p.trough_rps),
@@ -337,9 +407,32 @@ impl Scenario {
     /// Synthesizes this scenario's tenant traces for one trial —
     /// derived from `(seed, trial)` alone, so every backend of the
     /// sweep sees identical load.
+    ///
+    /// For a `trace(<path>)` workload this only reads the file's
+    /// header: the tenant slots come back with *empty* arrival lists
+    /// (the body streams lazily at run time, never materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace file's header cannot be read — [`Scenario::run`]
+    /// preflights the whole file first, so this only fires when
+    /// `run_trial` is driven directly against a bad path.
     pub fn tenant_loads(&self, trial: u64) -> Vec<TenantLoad> {
-        let mut rng = DetRng::new(self.seed).derive(TRACE_STREAM).derive(trial);
-        self.workload.generate(&self.params, &mut rng)
+        match &self.workload {
+            WorkloadSpec::Named(kind) => {
+                let mut rng = DetRng::new(self.seed).derive(TRACE_STREAM).derive(trial);
+                kind.generate(&self.params, &mut rng)
+            }
+            WorkloadSpec::Trace(path) => workloads::read_trace_header(path)
+                .unwrap_or_else(|e| panic!("trace {path}: {e}"))
+                .kinds
+                .into_iter()
+                .map(|kind| TenantLoad {
+                    kind,
+                    arrivals: Vec::new(),
+                })
+                .collect(),
+        }
     }
 
     /// Jitter seed of host `tag` (host index, or [`TEMPLATE_TAG`]).
@@ -424,6 +517,9 @@ impl Scenario {
     /// than the VMs' boot memory) — the same contract as constructing
     /// the simulators by hand.
     pub fn run_trial(&self, backend: BackendKind, trial: u64) -> ScenarioOutcome {
+        if let WorkloadSpec::Trace(path) = &self.workload {
+            return self.run_trace_trial(path, backend, trial);
+        }
         let duration_s = self.params.duration_s;
         let offered_of = |arrivals: &[f64]| arrivals.iter().filter(|&&a| a < duration_s).count();
         match self.topology {
@@ -459,6 +555,41 @@ impl Scenario {
         }
     }
 
+    /// One `(backend, trial)` cell of a `trace(<path>)` workload: the
+    /// same topology dispatch as the named path, but arrivals stream
+    /// from the file through the simulators' `with_source` ctors —
+    /// never materialized, metrics bounded. `offered` is the number of
+    /// arrivals the feed actually injected within the duration.
+    fn run_trace_trial(&self, path: &str, backend: BackendKind, trial: u64) -> ScenarioOutcome {
+        let source =
+            workloads::open_trace(path, trial).unwrap_or_else(|e| panic!("trace {path}: {e}"));
+        match self.topology {
+            Topology::SingleVm => {
+                let cfg = SimConfig::from_scenario(self, backend, trial);
+                let (result, injected) = FaasSim::with_source(cfg, source, path)
+                    .expect("scenario host boots")
+                    .run_counted();
+                ScenarioOutcome::from_sim(backend, trial, injected, result)
+            }
+            Topology::Cluster(_) => {
+                let cfg = ClusterConfig::from_scenario(self, backend, trial);
+                let router = self.router.build(self.router_seed(trial));
+                let result = ClusterSim::with_source(cfg, router, source, path)
+                    .expect("scenario hosts boot")
+                    .run();
+                ScenarioOutcome::from_cluster(backend, trial, result.injected, result)
+            }
+            Topology::Fleet => {
+                let cfg = FleetConfig::from_scenario(self, backend, trial);
+                let router = self.router.build(self.router_seed(trial));
+                let result = FleetSim::with_source(cfg, router, self.policy.build(), source, path)
+                    .expect("scenario fleet boots")
+                    .run();
+                ScenarioOutcome::from_fleet(backend, trial, result.injected, result)
+            }
+        }
+    }
+
     /// Runs the whole scenario — every backend of the sweep × every
     /// trial — through the experiment engine (`opts.jobs` shards the
     /// grid; output is byte-identical for any job count) and returns
@@ -467,6 +598,12 @@ impl Scenario {
     /// `opts.trials > 1` overrides the spec's own trial count.
     pub fn run(&self, opts: &ExpOpts) -> Result<ScenarioResult, String> {
         self.validate()?;
+        if let WorkloadSpec::Trace(path) = &self.workload {
+            // Preflight the whole file (every row parsed, time order
+            // checked) so a malformed trace fails here with a line
+            // number instead of mid-simulation.
+            workloads::validate_trace(path).map_err(|e| format!("trace {path}: {e}"))?;
+        }
         let trials = if opts.trials > 1 {
             opts.trials
         } else {
@@ -514,6 +651,10 @@ pub fn registry_help() -> String {
     for w in WorkloadKind::ALL {
         out.push_str(&format!("  {:<13} {}\n", w.key(), w.describe()));
     }
+    out.push_str(
+        "  trace(<path>) replay a trace file lazily from disk (azure-minute or opendc; \
+         write one with `repro gen-trace`)\n",
+    );
     let keys = |items: Vec<&'static str>| items.join(", ");
     out.push_str(&format!(
         "backends:    {}\n",

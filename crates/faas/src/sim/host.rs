@@ -14,7 +14,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use mem_types::align_up_to_block;
-use sim_core::{CostModel, CpuPool, DetRng, IdMap, SimDuration, SimTime, TaskId, TimeSeries};
+use sim_core::{
+    CostModel, CpuPool, DetRng, Histogram, IdMap, SimDuration, SimTime, TaskId, TimeSeries,
+};
 use vmm::{HostMemory, Vm, VmConfig, VmmError};
 use workloads::FunctionKind;
 
@@ -26,6 +28,10 @@ use crate::sim::events::{Event, EventSink, Work};
 use crate::sim::instance::{InstState, Instance, PendingReclaim};
 
 const EPS_CPU: f64 = 1e-9;
+
+/// Derivation tag of the bounded-metrics histogram streams (from the
+/// host config's seed), distinct from the jitter/trace/reservoir tags.
+const METRICS_STREAM: u64 = 0xB0D5;
 
 /// Per-VM agent state: the booted VM, its CPU pool, live instances and
 /// request queues.
@@ -101,6 +107,15 @@ pub(crate) struct HostSim {
     /// `recent_latencies` for the cluster/fleet drivers to drain.
     latency_tap: bool,
     recent_latencies: Vec<(FunctionKind, f64, f64)>,
+    /// Bounded-metrics mode (streamed trace replays): per-function
+    /// histograms become capped reservoirs and the memory/instance
+    /// time series stay empty, with the host-usage integral tracked
+    /// exactly by streaming accumulation instead.
+    bounded_metrics: bool,
+    /// Streaming host-usage integral (bytes·s): `(last sample time,
+    /// last sample value)` plus the area accumulated so far.
+    usage_last: Option<(SimTime, f64)>,
+    usage_acc: f64,
 }
 
 impl HostSim {
@@ -192,25 +207,43 @@ impl HostSim {
             rng,
             latency_tap: false,
             recent_latencies: Vec::new(),
+            bounded_metrics: false,
+            usage_last: None,
+            usage_acc: 0.0,
         })
     }
 
-    /// Schedules this host's configured arrival traces plus the first
-    /// metrics sample — exactly what the single-host simulator runs.
-    /// (The cluster driver skips this and routes tenant traces
-    /// instead.)
-    pub fn schedule_config_arrivals(&self, q: &mut dyn EventSink) {
-        for (vi, spec) in self.config.vms.iter().enumerate() {
-            for (di, d) in spec.deployments.iter().enumerate() {
-                for &t in d.arrivals.iter().filter(|&&t| t < self.config.duration_s) {
-                    q.push(
-                        SimTime::ZERO + SimDuration::from_secs_f64(t),
-                        Event::Arrival { vm: vi, dep: di },
-                    );
-                }
-            }
+    /// Switches every per-request accumulator to the bounded
+    /// discipline, for streamed trace replays whose invocation counts
+    /// dwarf any acceptable memory footprint:
+    ///
+    /// * per-function latency histograms become capped reservoirs
+    ///   (exact count and mean, sampled quantiles) on seeded streams
+    ///   derived from the config seed under [`METRICS_STREAM`];
+    /// * the host/guest/instance time series stay empty, with the
+    ///   host-usage integral (the `gib_seconds` numerator) accumulated
+    ///   exactly in streaming fashion instead.
+    ///
+    /// Must be called before any event is handled.
+    pub fn enable_bounded_metrics(&mut self) {
+        self.bounded_metrics = true;
+        // Exact per-request latency points grow with the trace; the
+        // reservoir timeline covers the time-resolved view instead.
+        self.config.record_latency_points = false;
+        let base = DetRng::new(self.config.seed).derive(METRICS_STREAM);
+        for (i, m) in self.per_func.iter_mut().enumerate() {
+            *m = FuncMetrics {
+                latency: Histogram::bounded(
+                    crate::cluster::LATENCY_RESERVOIR_CAP,
+                    base.derive(i as u64 * 2).seed(),
+                ),
+                cold_start_latency: Histogram::bounded(
+                    crate::cluster::LATENCY_RESERVOIR_CAP,
+                    base.derive(i as u64 * 2 + 1).seed(),
+                ),
+                ..FuncMetrics::default()
+            };
         }
-        q.push(SimTime::ZERO, Event::Sample);
     }
 
     /// Handles one event at time `now`, scheduling follow-ups into `q`.
@@ -260,6 +293,19 @@ impl HostSim {
                 per_func.insert(FunctionKind::ALL[i], m);
             }
         }
+        // Bounded mode: close out the streaming host-usage integral
+        // with the final step's tail, exactly like `integral_until`.
+        let exact_host_usage_integral = if self.bounded_metrics {
+            let mut acc = self.usage_acc;
+            if let Some((t0, v0)) = self.usage_last {
+                if end > t0 {
+                    acc += v0 * end.since(t0).as_secs_f64();
+                }
+            }
+            Some(acc)
+        } else {
+            None
+        };
         SimResult {
             per_func,
             host_usage: self.host_series,
@@ -268,6 +314,7 @@ impl HostSim {
             reclaims: self.vms.iter().map(|v| v.reclaim).collect(),
             completed: self.completed,
             end,
+            exact_host_usage_integral,
         }
     }
 
@@ -521,10 +568,20 @@ impl HostSim {
         // Safety net for queues whose deployment has no instance left and
         // no reclaim in flight: retry their scale-ups periodically.
         self.retry_scale_ups(now, q);
-        self.host_series.push(now, self.host.used_bytes() as f64);
-        for v in &mut self.vms {
-            v.guest_series.push(now, v.vm.guest.used_bytes() as f64);
-            v.inst_series.push(now, v.instances.len() as f64);
+        if self.bounded_metrics {
+            // Streamed replays: no per-sample points, just the exact
+            // host-usage integral (step function, like the series).
+            let v = self.host.used_bytes() as f64;
+            if let Some((t0, v0)) = self.usage_last {
+                self.usage_acc += v0 * now.since(t0).as_secs_f64();
+            }
+            self.usage_last = Some((now, v));
+        } else {
+            self.host_series.push(now, self.host.used_bytes() as f64);
+            for v in &mut self.vms {
+                v.guest_series.push(now, v.vm.guest.used_bytes() as f64);
+                v.inst_series.push(now, v.instances.len() as f64);
+            }
         }
         let next = now + SimDuration::from_secs_f64(self.config.sample_period_s);
         if next.as_secs_f64() <= self.config.duration_s {

@@ -29,10 +29,12 @@ pub(crate) mod events;
 pub(crate) mod host;
 pub(crate) mod instance;
 
-use sim_core::EventQueue;
+use sim_core::{EventQueue, SimTime};
 use vmm::VmmError;
+use workloads::TraceSource;
 
 use crate::config::SimConfig;
+use crate::feed::ArrivalFeed;
 use crate::metrics::SimResult;
 use events::Event;
 use host::HostSim;
@@ -41,30 +43,107 @@ use host::HostSim;
 pub struct FaasSim {
     host: HostSim,
     events: EventQueue<Event>,
+    /// Arrivals, pulled lazily — queue memory stays O(pending events),
+    /// not O(total invocations).
+    feed: ArrivalFeed,
+    /// Feed slot index → `(vm, dep)` deployment address.
+    slot_map: Vec<(usize, usize)>,
 }
 
 impl FaasSim {
-    /// Builds a simulation: boots the VMs, installs the backend,
-    /// schedules all arrivals.
-    pub fn new(config: SimConfig) -> Result<FaasSim, VmmError> {
-        let host = HostSim::new(config)?;
+    /// Builds a simulation: boots the VMs, installs the backend, and
+    /// takes the configured arrival traces into a lazy feed.
+    pub fn new(mut config: SimConfig) -> Result<FaasSim, VmmError> {
+        let duration_s = config.duration_s;
+        let mut slots = Vec::new();
+        let mut slot_map = Vec::new();
+        for (vi, spec) in config.vms.iter_mut().enumerate() {
+            for (di, d) in spec.deployments.iter_mut().enumerate() {
+                slot_map.push((vi, di));
+                slots.push(std::mem::take(&mut d.arrivals));
+            }
+        }
+        let feed = ArrivalFeed::merged(slots, duration_s);
+        FaasSim::build(config, feed, slot_map, false)
+    }
+
+    /// Builds a simulation fed by a streaming trace source instead of
+    /// materialized arrival lists: tenant `i` of the trace addresses
+    /// the host's `i`-th deployment slot (flattened `(vm, dep)` order).
+    /// Metrics run in bounded mode — per-request accumulators are
+    /// capped reservoirs and time series are replaced by streaming
+    /// integrals — so memory stays constant over multi-million-
+    /// invocation replays. `origin` names the trace in diagnostics.
+    pub fn with_source(
+        config: SimConfig,
+        source: Box<dyn TraceSource>,
+        origin: &str,
+    ) -> Result<FaasSim, VmmError> {
+        let duration_s = config.duration_s;
+        let slot_map: Vec<(usize, usize)> = config
+            .vms
+            .iter()
+            .enumerate()
+            .flat_map(|(vi, spec)| (0..spec.deployments.len()).map(move |di| (vi, di)))
+            .collect();
+        let feed = ArrivalFeed::stream(source, duration_s, origin);
+        FaasSim::build(config, feed, slot_map, true)
+    }
+
+    fn build(
+        config: SimConfig,
+        feed: ArrivalFeed,
+        slot_map: Vec<(usize, usize)>,
+        bounded: bool,
+    ) -> Result<FaasSim, VmmError> {
+        let mut host = HostSim::new(config)?;
+        if bounded {
+            host.enable_bounded_metrics();
+        }
         let mut events = EventQueue::new();
-        host.schedule_config_arrivals(&mut events);
-        Ok(FaasSim { host, events })
+        events.push(SimTime::ZERO, Event::Sample);
+        Ok(FaasSim {
+            host,
+            events,
+            feed,
+            slot_map,
+        })
     }
 
     /// Runs the simulation to completion and returns the results.
-    pub fn run(mut self) -> SimResult {
-        // Same-instant events are popped as one batch: a single wheel
-        // advance serves every event of the tick, in the exact (time,
-        // seq) order sequential pops would yield.
+    pub fn run(self) -> SimResult {
+        self.run_counted().0
+    }
+
+    /// Like [`Self::run`], also returning how many arrivals the feed
+    /// injected (the offered-load count for trace-driven runs).
+    pub fn run_counted(mut self) -> (SimResult, u64) {
+        // Two-stream merge: a fed arrival is processed whenever its
+        // time is <= the queue's next tick (it would have held the
+        // lower sequence number in the pre-push era), otherwise one
+        // tick's batch pops — in the exact (time, seq) order
+        // sequential pops would yield.
         let mut batch = Vec::new();
-        while let Some(now) = self.events.pop_batch(&mut batch) {
-            for ev in batch.drain(..) {
-                self.host.handle(now, ev, &mut self.events);
+        loop {
+            let arrival_next = match (self.feed.peek(), self.events.peek_time()) {
+                (Some((at, _)), Some(qt)) => at <= qt,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if arrival_next {
+                let (at, slot) = self.feed.pop().expect("peeked");
+                let (vm, dep) = self.slot_map[slot];
+                self.host
+                    .handle(at, Event::Arrival { vm, dep }, &mut self.events);
+            } else if let Some(now) = self.events.pop_batch(&mut batch) {
+                for ev in batch.drain(..) {
+                    self.host.handle(now, ev, &mut self.events);
+                }
             }
         }
-        self.host.finish()
+        let injected = self.feed.injected();
+        (self.host.finish(), injected)
     }
 }
 

@@ -95,9 +95,8 @@ fn single_vm_scenario_is_byte_identical_to_hand_built_sim_config() {
         for trial in [0u64, 1] {
             // Hand-built: generate the traces on the documented stream
             // and wire them into a single-host SimConfig directly.
-            let tenants = spec
-                .workload
-                .generate(&spec.params, &mut trace_rng(spec.seed, trial));
+            let tenants =
+                WorkloadKind::AzureTrace.generate(&spec.params, &mut trace_rng(spec.seed, trial));
             let mut cfg =
                 hand_host_config(&spec, &tenants, backend, host_seed(spec.seed, 0), trial);
             for (dep, t) in cfg.vms[0].deployments.iter_mut().zip(&tenants) {
@@ -137,9 +136,8 @@ fn cluster_scenario_is_byte_identical_to_hand_built_cluster_config() {
 
     for backend in [BackendKind::VirtioMem, BackendKind::Squeezy] {
         let trial = 0u64;
-        let tenants = spec
-            .workload
-            .generate(&spec.params, &mut trace_rng(spec.seed, trial));
+        let tenants =
+            WorkloadKind::ZipfCluster.generate(&spec.params, &mut trace_rng(spec.seed, trial));
         let hand_cfg = ClusterConfig {
             hosts: (0..2)
                 .map(|h| hand_host_config(&spec, &tenants, backend, host_seed(spec.seed, h), trial))
@@ -190,9 +188,8 @@ fn fleet_scenario_is_byte_identical_to_hand_built_fleet_config() {
 
     for backend in [BackendKind::Squeezy, BackendKind::SqueezySoft] {
         let trial = 0u64;
-        let tenants = spec
-            .workload
-            .generate(&spec.params, &mut trace_rng(spec.seed, trial));
+        let tenants =
+            WorkloadKind::Diurnal.generate(&spec.params, &mut trace_rng(spec.seed, trial));
         let hand_cfg = FleetConfig {
             initial_hosts: (0..spec.min_hosts)
                 .map(|h| {

@@ -3,10 +3,18 @@
 //! topology, backend sweep, workload, knobs and SLO overrides a
 //! scenario carries (floats at full bit precision included).
 
-use faas::{BackendKind, PolicyKind, RouterKind, Scenario, Topology};
+use faas::{BackendKind, PolicyKind, RouterKind, Scenario, Topology, WorkloadSpec};
 use mem_types::{GIB, MIB};
 use proptest::prelude::*;
 use workloads::{FunctionKind, WorkloadKind};
+
+/// Trace paths a spec may carry — including characters the `key =
+/// value` format must treat as opaque value bytes.
+const TRACE_PATHS: [&str; 3] = [
+    "examples/traces/azure_3day.csv",
+    "traces/odd name=x #1.csv",
+    "./rel/../weird(1.csv",
+];
 
 fn topology_strategy() -> impl Strategy<Value = Topology> {
     prop_oneof![
@@ -56,10 +64,12 @@ fn capacity_strategy() -> impl Strategy<Value = u64> {
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     // The proptest shim supports tuples up to arity 4, so the field
     // space is sampled as a tuple-of-tuples and assembled by hand.
+    // Indices past the named registry sample `trace(<path>)` workloads
+    // (paths with dots, dashes, spaces and '=' must all round-trip).
     let shape = (
         topology_strategy(),
         backends_strategy(),
-        0usize..5,
+        0usize..WorkloadKind::ALL.len() + TRACE_PATHS.len(),
         slo_strategy(),
     );
     let load = (1u64..9, 1.0f64..600.0, 0.5f64..20.0, 0.01f64..1.0);
@@ -79,7 +89,12 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 (mtbf_s, seed, trials, policy_idx),
             ),
         )| {
-            let workload = WorkloadKind::ALL[workload_idx];
+            let workload = match WorkloadKind::ALL.get(workload_idx) {
+                Some(&kind) => WorkloadSpec::Named(kind),
+                None => WorkloadSpec::Trace(
+                    TRACE_PATHS[workload_idx - WorkloadKind::ALL.len()].to_string(),
+                ),
+            };
             let mut s = Scenario::new("prop-scenario", topology, workload);
             s.backends = backends;
             s.params.tenants = tenants as usize;

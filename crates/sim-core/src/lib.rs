@@ -46,6 +46,6 @@ pub use cpu::{CpuPool, TaskId};
 pub use events::{BinaryHeapQueue, EventQueue};
 pub use experiment::{run_experiment, run_reduced, ExpOpts, Experiment, Summary, TrialCtx};
 pub use metrics::{fnv1a, BusyRecorder, Fnv1a, Histogram, Reservoir, TimeSeries};
-pub use rng::DetRng;
+pub use rng::{nhpp_thinned_arrivals, poisson_arrivals_into, DetRng};
 pub use table::TextTable;
 pub use time::{SimDuration, SimTime};

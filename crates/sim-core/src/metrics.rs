@@ -9,10 +9,26 @@ use crate::time::{SimDuration, SimTime};
 /// Stores raw samples and sorts lazily; experiments collect at most a few
 /// hundred thousand latencies, so exact quantiles are affordable and avoid
 /// binning artefacts in reported P99s.
+///
+/// For trace-driven runs with millions of completions, a *bounded*
+/// histogram ([`Histogram::bounded`]) retains a fixed-size uniform
+/// sample (Vitter's algorithm R on a seeded deterministic stream) while
+/// the count and mean stay exact via streaming moments — the same
+/// discipline as [`Reservoir`]. Quantiles and the max then come from
+/// the retained sample, i.e. they are estimates.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+    /// Total samples offered (== `samples.len()` when unbounded).
+    seen: u64,
+    /// Exact running sum of every offered sample.
+    sum: f64,
+    /// Retention cap; `None` keeps everything.
+    cap: Option<usize>,
+    /// Deterministic replacement stream (splitmix walk) for the
+    /// bounded mode.
+    replace_state: u64,
 }
 
 impl Histogram {
@@ -21,10 +37,37 @@ impl Histogram {
         Histogram::default()
     }
 
+    /// Creates an empty bounded histogram retaining at most `cap`
+    /// samples, replacing uniformly on the deterministic stream seeded
+    /// by `seed`.
+    pub fn bounded(cap: usize, seed: u64) -> Self {
+        Histogram {
+            cap: Some(cap.max(1)),
+            replace_state: seed,
+            ..Histogram::default()
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, v: f64) {
-        self.samples.push(v);
-        self.sorted = false;
+        self.seen += 1;
+        self.sum += v;
+        match self.cap {
+            Some(cap) if self.samples.len() >= cap => {
+                // Algorithm R: replace a uniformly random slot with
+                // probability cap/seen.
+                self.replace_state = crate::rng::splitmix(self.replace_state);
+                let j = self.replace_state % self.seen;
+                if (j as usize) < cap {
+                    self.samples[j as usize] = v;
+                    self.sorted = false;
+                }
+            }
+            _ => {
+                self.samples.push(v);
+                self.sorted = false;
+            }
+        }
     }
 
     /// Records a duration sample in milliseconds.
@@ -39,15 +82,26 @@ impl Histogram {
     }
 
     /// Absorbs all of `other`'s samples (e.g. merging per-host
-    /// histograms into a cluster-wide one).
+    /// histograms into a cluster-wide one). Merging into an unbounded
+    /// histogram keeps every retained sample; the exact `seen`/`sum`
+    /// moments always add.
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
+        self.seen += other.seen;
+        self.sum += other.sum;
         self.sorted = false;
     }
 
-    /// Returns the number of samples.
+    /// Returns the number of *retained* samples (equals the number of
+    /// recorded samples unless the histogram is bounded).
     pub fn count(&self) -> usize {
         self.samples.len()
+    }
+
+    /// Returns the exact number of samples ever recorded, including
+    /// those a bounded histogram no longer retains.
+    pub fn seen(&self) -> u64 {
+        self.seen
     }
 
     /// Returns `true` if no samples were recorded.
@@ -55,8 +109,16 @@ impl Histogram {
         self.samples.is_empty()
     }
 
-    /// Returns the arithmetic mean, or 0 for an empty histogram.
+    /// Returns the arithmetic mean, or 0 for an empty histogram. Exact
+    /// even for bounded histograms (streaming sum over every sample).
     pub fn mean(&self) -> f64 {
+        if self.cap.is_some() {
+            return if self.seen == 0 {
+                0.0
+            } else {
+                self.sum / self.seen as f64
+            };
+        }
         if self.samples.is_empty() {
             0.0
         } else {

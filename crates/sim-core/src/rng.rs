@@ -19,8 +19,9 @@ pub struct DetRng {
     rng: SmallRng,
 }
 
-/// SplitMix64 finalizer: the avalanche step that separates child seeds.
-fn splitmix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer: the avalanche step that separates child seeds
+/// (also the bounded histogram's replacement walk).
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -103,6 +104,62 @@ impl DetRng {
             xs.swap(i, j);
         }
     }
+}
+
+/// Appends homogeneous-Poisson arrivals with rate `rate` over
+/// `[start, end)` to `out`.
+///
+/// The single shared definition of "draw a Poisson arrival train" used
+/// by every workload generator (bursty phases, churn drumbeats), so the
+/// draw sequence — one [`DetRng::exp`] per candidate, first candidate at
+/// `start + exp` — is identical everywhere and pinned by the golden
+/// digests. A non-positive `rate` consumes no draws and appends nothing.
+pub fn poisson_arrivals_into(
+    rng: &mut DetRng,
+    start: f64,
+    end: f64,
+    rate: f64,
+    out: &mut Vec<f64>,
+) {
+    if rate <= 0.0 {
+        return;
+    }
+    let mut a = start + rng.exp(rate);
+    while a < end {
+        out.push(a);
+        a += rng.exp(rate);
+    }
+}
+
+/// Samples a non-homogeneous Poisson process over `[0, duration_s)` by
+/// thinning a rate-`lambda_max` homogeneous process.
+///
+/// `rate_at(rng, t)` returns the instantaneous rate `λ(t) ≤ lambda_max`
+/// at candidate time `t`; it receives the same stream so stateful rate
+/// models (e.g. burst phases advanced by their own exponential draws)
+/// stay on one per-tenant stream. Draw order per candidate: one
+/// [`DetRng::exp`], then whatever `rate_at` draws, then one
+/// [`DetRng::unit`] for the accept test — the exact sequence the diurnal
+/// generator has always used, pinned by the golden digests.
+pub fn nhpp_thinned_arrivals(
+    rng: &mut DetRng,
+    lambda_max: f64,
+    duration_s: f64,
+    mut rate_at: impl FnMut(&mut DetRng, f64) -> f64,
+) -> Vec<f64> {
+    let mut arrivals = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.exp(lambda_max);
+        if t >= duration_s {
+            break;
+        }
+        let lambda_t = rate_at(rng, t);
+        if rng.unit() < lambda_t / lambda_max {
+            arrivals.push(t);
+        }
+    }
+    arrivals
 }
 
 /// A Zipf(`s`) sampler over ranks `0..n`, built on a precomputed CDF.
@@ -254,5 +311,86 @@ mod tests {
         let mut rng = DetRng::new(5);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn poisson_arrivals_match_the_naive_loop() {
+        // The helper must be draw-for-draw identical to the open-coded
+        // loop it replaced (byte-identity of the golden digests).
+        let mut a = DetRng::new(11);
+        let mut got = Vec::new();
+        poisson_arrivals_into(&mut a, 3.0, 40.0, 2.5, &mut got);
+        let mut b = DetRng::new(11);
+        let mut want = Vec::new();
+        let mut t = 3.0 + b.exp(2.5);
+        while t < 40.0 {
+            want.push(t);
+            t += b.exp(2.5);
+        }
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+        assert!(got.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(got.iter().all(|&x| (3.0..40.0).contains(&x)), "in range");
+    }
+
+    #[test]
+    fn poisson_arrivals_zero_rate_draws_nothing() {
+        let mut rng = DetRng::new(12);
+        let mut out = Vec::new();
+        poisson_arrivals_into(&mut rng, 0.0, 100.0, 0.0, &mut out);
+        assert!(out.is_empty());
+        // No draws consumed: the stream is still at its origin.
+        let mut fresh = DetRng::new(12);
+        assert_eq!(rng.unit().to_bits(), fresh.unit().to_bits());
+    }
+
+    #[test]
+    fn nhpp_thinning_accepts_by_rate_ratio() {
+        // A constant rate_at == lambda_max accepts every candidate, so
+        // thinning degenerates to the homogeneous process.
+        let mut a = DetRng::new(13);
+        let all = nhpp_thinned_arrivals(&mut a, 4.0, 50.0, |_, _| 4.0);
+        let mut b = DetRng::new(13);
+        let mut expect = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += b.exp(4.0);
+            if t >= 50.0 {
+                break;
+            }
+            b.unit(); // the accept draw still happens
+            expect.push(t);
+        }
+        assert_eq!(all, expect);
+        // Half rate keeps roughly half the candidates.
+        let mut c = DetRng::new(13);
+        let half = nhpp_thinned_arrivals(&mut c, 4.0, 50.0, |_, _| 2.0);
+        assert!(half.len() < all.len());
+        assert!(half.len() > all.len() / 4, "about half survive");
+        assert!(half.iter().all(|x| all.contains(x)), "a thinned subset");
+    }
+
+    #[test]
+    fn nhpp_rate_at_shares_the_stream() {
+        // rate_at may draw from the stream; those draws must land
+        // between the candidate exp and the accept unit.
+        let mut a = DetRng::new(14);
+        let got = nhpp_thinned_arrivals(&mut a, 3.0, 20.0, |rng, _| {
+            let _ = rng.unit();
+            3.0
+        });
+        let mut b = DetRng::new(14);
+        let mut expect = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += b.exp(3.0);
+            if t >= 20.0 {
+                break;
+            }
+            b.unit(); // rate_at's draw
+            b.unit(); // accept draw (λ == λ_max always accepts)
+            expect.push(t);
+        }
+        assert_eq!(got, expect);
     }
 }

@@ -10,7 +10,7 @@
 //! heterogeneous footprints.
 
 use sim_core::rng::Zipf;
-use sim_core::DetRng;
+use sim_core::{nhpp_thinned_arrivals, DetRng};
 
 use crate::functions::FunctionKind;
 use crate::trace::zipf_function_traces;
@@ -137,8 +137,6 @@ pub fn diurnal_workload(cfg: &DiurnalConfig, rng: &mut DetRng) -> Vec<TenantLoad
             // Envelope for thinning: the tenant's peak rate with the
             // burst multiplier always applied.
             let lambda_max = share * cfg.peak_rps * cfg.burst_factor;
-            let mut arrivals = Vec::new();
-            let mut t = 0.0;
             // On/off burst phases, like `bursty_arrivals`: mean burst
             // 10 s, mean gap sized to hit `burst_duty`.
             let mean_burst_s = 10.0;
@@ -153,26 +151,19 @@ pub fn diurnal_workload(cfg: &DiurnalConfig, rng: &mut DetRng) -> Vec<TenantLoad
             } else {
                 cfg.duration_s
             };
-            while t < cfg.duration_s {
-                t += trng.exp(lambda_max);
+            let arrivals = nhpp_thinned_arrivals(&mut trng, lambda_max, cfg.duration_s, |r, t| {
                 while t >= phase_end && phase_end < cfg.duration_s {
                     bursting = !bursting;
                     let mean_len = if bursting { mean_burst_s } else { mean_idle_s };
                     phase_end = if mean_len.is_finite() {
-                        phase_end + trng.exp(1.0 / mean_len)
+                        phase_end + r.exp(1.0 / mean_len)
                     } else {
                         cfg.duration_s
                     };
                 }
-                if t >= cfg.duration_s {
-                    break;
-                }
                 let burst = if bursting { cfg.burst_factor } else { 1.0 };
-                let lambda_t = share * diurnal_rate(cfg, t) * burst;
-                if trng.unit() < lambda_t / lambda_max {
-                    arrivals.push(t);
-                }
-            }
+                share * diurnal_rate(cfg, t) * burst
+            });
             TenantLoad {
                 kind: FunctionKind::ALL[rank % FunctionKind::ALL.len()],
                 arrivals,

@@ -9,13 +9,17 @@
 //!   simulator;
 //! * [`churn`] — the Figure-2 creations/evictions-per-minute analysis;
 //! * [`registry`] — the named workload registry the scenario specs
-//!   resolve against (`workload = diurnal`).
+//!   resolve against (`workload = diurnal`);
+//! * [`source`] — streaming trace ingestion: the [`TraceSource`] trait
+//!   plus file parsers/writers and generator adapters, so
+//!   multi-million-invocation replays stay memory-bounded.
 
 pub mod churn;
 pub mod cluster;
 pub mod functions;
 pub mod memhog;
 pub mod registry;
+pub mod source;
 pub mod trace;
 
 pub use churn::{analyze_churn, ChurnResult, MinuteChurn};
@@ -26,4 +30,10 @@ pub use cluster::{
 pub use functions::{FunctionKind, FunctionProfile};
 pub use memhog::Memhog;
 pub use registry::{WorkloadKind, WorkloadParams};
+pub use source::{
+    open_trace, read_trace_header, render_azure_minute, render_opendc, sample_azure_3day,
+    sample_azure_rows, sample_opendc, validate_trace, Arrival, AzureMinuteSource,
+    MaterializedSource, OpenDcRow, OpenDcSource, TraceError, TraceFormat, TraceHeader, TraceSource,
+    TraceStats, TRACE_MAGIC,
+};
 pub use trace::{bursty_arrivals, zipf_function_traces, BurstyTraceConfig};

@@ -6,7 +6,7 @@
 //! names resolve, so adding a generator here makes it reachable from
 //! every simulator topology without touching the scenario code.
 
-use sim_core::DetRng;
+use sim_core::{poisson_arrivals_into, DetRng};
 
 use crate::cluster::{diurnal_workload, multi_tenant_workload, DiurnalConfig, MultiTenantConfig};
 use crate::functions::FunctionKind;
@@ -190,14 +190,13 @@ impl WorkloadKind {
                 .map(|rank| {
                     let mut trng = rng.derive(rank as u64 + 1);
                     let mut arrivals = Vec::new();
-                    let mut t = 0.0;
-                    loop {
-                        t += trng.exp(per_tenant);
-                        if t >= params.duration_s {
-                            break;
-                        }
-                        arrivals.push(t);
-                    }
+                    poisson_arrivals_into(
+                        &mut trng,
+                        0.0,
+                        params.duration_s,
+                        per_tenant,
+                        &mut arrivals,
+                    );
                     TenantLoad {
                         kind: FunctionKind::ALL[rank % FunctionKind::ALL.len()],
                         arrivals,

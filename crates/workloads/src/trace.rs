@@ -10,7 +10,7 @@
 //! \[34, 66\].
 
 use sim_core::rng::Zipf;
-use sim_core::DetRng;
+use sim_core::{poisson_arrivals_into, DetRng};
 
 /// Parameters of one bursty arrival process.
 #[derive(Clone, Copy, Debug)]
@@ -54,13 +54,7 @@ pub fn bursty_arrivals(cfg: &BurstyTraceConfig, rng: &mut DetRng) -> Vec<f64> {
             (cfg.base_rps, cfg.mean_idle_s)
         };
         let phase_end = (t + rng.exp(1.0 / mean_len)).min(cfg.duration_s);
-        if rate > 0.0 {
-            let mut a = t + rng.exp(rate);
-            while a < phase_end {
-                arrivals.push(a);
-                a += rng.exp(rate);
-            }
-        }
+        poisson_arrivals_into(rng, t, phase_end, rate, &mut arrivals);
         t = phase_end;
         bursting = !bursting;
     }
