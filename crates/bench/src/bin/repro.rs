@@ -7,15 +7,22 @@
 //! repro [all|table1|fig1|...|fig11|thp|soft|fpr|temporal|hybrid|cluster|fleet]
 //!       [--quick] [--jobs N] [--trials N] [--json <path>]
 //! repro perf [--trace] [--quick] [--json <path>]
-//! repro run <spec.scn>... [--quick] [--jobs N] [--trials N] [--json <path>]
+//! repro run <spec.scn>... [--compare] [--quick] [--jobs N] [--trials N] [--json <path>]
 //! repro gen-trace
 //! repro scenarios
 //! ```
 //!
-//! * `repro run` — execute scenario spec files (`faas::Scenario`
+//! * `repro run` — execute scenario spec files (`faas::SweepSpec`
 //!   format; see `examples/scenarios/`) with one report section per
 //!   spec. Specs are parsed and validated up front: a bad file fails
-//!   before anything runs.
+//!   before anything runs. A spec may sweep axes
+//!   (`hosts = 4..64 step 2x`, `router = least-loaded, power-of-two`)
+//!   into a grid of cells, and may declare `expect.*` gates
+//!   (`expect.p99_ms_max = 250`) — any failed gate makes the whole run
+//!   exit 1 after the per-cell verdict table prints.
+//! * `repro run --compare a.scn b.scn` — run exactly two single-cell
+//!   specs and append a significance-aware diff table (Welch's t-test
+//!   plus a seeded bootstrap CI per metric; see `faas::scenario`).
 //! * `repro perf --trace` — the streaming-replay benchmark: a frozen
 //!   fleet pulls a multi-day azure-minute trace lazily off disk and the
 //!   run asserts every tracked-sample accumulator stays under its cap.
@@ -34,7 +41,9 @@
 
 use std::time::Instant;
 
-use faas::Scenario;
+use std::sync::{Arc, Mutex};
+
+use faas::{compare_results, CompareReport, ExpectVerdict, GridOutcome, SweepSpec};
 use sim_core::experiment::{run_experiment, Experiment, TrialCtx};
 use sim_core::{fnv1a, ExpOpts};
 use squeezy_bench as bench;
@@ -74,6 +83,9 @@ struct Args {
     /// `perf --trace`: run the streaming-replay benchmark instead of
     /// the drumbeat cluster.
     trace: bool,
+    /// `run --compare`: diff exactly two single-cell specs with
+    /// significance tests.
+    compare: bool,
     opts: ExpOpts,
     json: Option<String>,
 }
@@ -83,6 +95,7 @@ fn parse_args() -> Args {
     let mut files: Vec<String> = Vec::new();
     let mut quick = false;
     let mut trace = false;
+    let mut compare = false;
     let mut opts = ExpOpts::auto();
     let mut json = None;
     let mut it = std::env::args().skip(1);
@@ -90,6 +103,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--quick" => quick = true,
             "--trace" => trace = true,
+            "--compare" => compare = true,
             "--jobs" => {
                 let v = it.next().unwrap_or_else(|| die("--jobs needs a value"));
                 opts.jobs = v.parse().unwrap_or_else(|_| die("--jobs expects a number"));
@@ -129,11 +143,18 @@ fn parse_args() -> Args {
     if trace && what != "perf" {
         die("--trace only applies to the perf target");
     }
+    if compare && what != "run" {
+        die("--compare only applies to the run target");
+    }
+    if compare && files.len() != 2 {
+        die("--compare needs exactly two scenario spec files (baseline, candidate)");
+    }
     Args {
         what,
         files,
         quick,
         trace,
+        compare,
         opts,
         json,
     }
@@ -193,14 +214,16 @@ impl Experiment for Report {
 }
 
 /// Loads, optionally quick-scales, and validates every spec file; any
-/// bad file dies before the first simulation starts.
-fn load_scenarios(files: &[String], quick: bool) -> Vec<(String, Scenario)> {
+/// bad file dies before the first simulation starts. Specs may be
+/// plain scenarios or sweep grids — `SweepSpec::parse` is a strict
+/// superset of the scalar format.
+fn load_specs(files: &[String], quick: bool) -> Vec<(String, SweepSpec)> {
     files
         .iter()
         .map(|path| {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
-            let spec = Scenario::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            let spec = SweepSpec::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
             (path.clone(), if quick { spec.quick() } else { spec })
         })
         .collect()
@@ -251,15 +274,36 @@ fn main() {
         }
     };
 
-    for (path, spec) in load_scenarios(&args.files, quick) {
+    let specs = load_specs(&args.files, quick);
+    if args.compare {
+        for (path, spec) in &specs {
+            let cells = spec.cells().len();
+            if cells != 1 {
+                die(&format!(
+                    "--compare needs single-cell specs; {path} expands to {cells} cells \
+                     (drop the sweep axes)"
+                ));
+            }
+        }
+    }
+    // Grid outcomes (per-cell results, gate verdicts) are captured out
+    // of the render closures for the compare block, the JSON summary
+    // and the gate exit code.
+    let grids: Arc<Mutex<Vec<Option<GridOutcome>>>> =
+        Arc::new(Mutex::new(specs.iter().map(|_| None).collect()));
+    for (i, (path, spec)) in specs.into_iter().enumerate() {
         let spec_opts = opts;
+        let grids = grids.clone();
         add(
-            &path,
+            &path.clone(),
             true,
             Box::new(move || {
-                spec.run(&spec_opts)
-                    .expect("spec validated at load time")
-                    .render()
+                let outcome = spec
+                    .run(&spec_opts)
+                    .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+                let text = outcome.render();
+                grids.lock().expect("grid lock")[i] = Some(outcome);
+                text
             }),
         );
     }
@@ -509,6 +553,19 @@ fn main() {
         println!("{}", "=".repeat(72));
         println!("{}", sec.text);
     }
+    let grids: Vec<Option<GridOutcome>> = std::mem::take(&mut *grids.lock().expect("grid lock"));
+    let compare = args.compare.then(|| {
+        // Validated at parse time: exactly two single-cell specs, and
+        // every run section stores its outcome before rendering.
+        let a = grids[0].as_ref().expect("run section stored outcome");
+        let b = grids[1].as_ref().expect("run section stored outcome");
+        let report = compare_results(&args.files[0], &a.cells[0].1, &args.files[1], &b.cells[0].1);
+        println!("{}", "=".repeat(72));
+        println!("== Compare");
+        println!("{}", "=".repeat(72));
+        println!("{}", report.render());
+        report
+    });
     let total_s = t0.elapsed().as_secs_f64();
     eprintln!(
         "[repro] done in {total_s:.1}s (jobs={}, trials={})",
@@ -516,6 +573,11 @@ fn main() {
         opts.trials
     );
 
+    let verdicts: Vec<&ExpectVerdict> = grids
+        .iter()
+        .flatten()
+        .flat_map(|g| g.verdicts.iter())
+        .collect();
     if let Some(path) = args.json {
         let perf = perf_cell.lock().expect("perf cell lock");
         let trace = trace_cell.lock().expect("trace cell lock");
@@ -526,9 +588,18 @@ fn main() {
             &opts,
             perf.as_ref(),
             trace.as_ref(),
+            &verdicts,
+            compare.as_ref(),
         );
         std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         eprintln!("[repro] wrote {path}");
+    }
+    // Behavioral gates make the process fail *after* the full report
+    // and JSON land — exit 1 (distinct from usage errors' exit 2).
+    let failed = verdicts.iter().filter(|v| !v.pass).count();
+    if failed > 0 {
+        eprintln!("[repro] {failed} expectation gate(s) FAILED — see verdict table above");
+        std::process::exit(1);
     }
 }
 
@@ -548,8 +619,20 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// `null` for non-finite values — bare JSON numbers cannot spell NaN
+/// or infinity.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Serializes the run summary (no external crates: the schema is flat
-/// and the only free-form strings — section names — are escaped).
+/// and the only free-form strings — section names, cell labels — are
+/// escaped).
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     sections: &[Section],
     total_s: f64,
@@ -557,6 +640,8 @@ fn to_json(
     opts: &ExpOpts,
     perf: Option<&bench::perf::PerfCell>,
     perf_trace: Option<&bench::perf::TracePerfCell>,
+    verdicts: &[&ExpectVerdict],
+    compare: Option<&CompareReport>,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"suite\": \"squeezy-repro\",\n");
@@ -599,6 +684,54 @@ fn to_json(
             p.run_s,
             p.events_per_sec
         ));
+    }
+    if !verdicts.is_empty() {
+        s.push_str("  \"expectations\": [\n");
+        for (i, v) in verdicts.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"cell\": \"{}\", \"gate\": \"{}\", \"limit\": {}, \"actual\": {}, \
+                 \"pass\": {}}}{}\n",
+                json_escape(&v.cell),
+                v.kind.key(),
+                json_f64(v.limit),
+                json_f64(v.actual),
+                v.pass,
+                if i + 1 < verdicts.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+    }
+    if let Some(c) = compare {
+        s.push_str(&format!(
+            "  \"compare\": {{\"a\": \"{}\", \"b\": \"{}\", \"alpha\": {}, \"rows\": [\n",
+            json_escape(&c.label_a),
+            json_escape(&c.label_b),
+            faas::scenario::ALPHA
+        ));
+        let n: usize = c.rows.iter().map(|(_, diffs)| diffs.len()).sum();
+        let mut i = 0;
+        for (backend, diffs) in &c.rows {
+            for d in diffs {
+                i += 1;
+                s.push_str(&format!(
+                    "    {{\"backend\": \"{}\", \"metric\": \"{}\", \"mean_a\": {}, \
+                     \"mean_b\": {}, \"diff\": {}, \"p\": {}, \"significant\": {}, \
+                     \"verdict\": \"{}\"}}{}\n",
+                    backend.key(),
+                    d.metric,
+                    json_f64(d.mean_a),
+                    json_f64(d.mean_b),
+                    json_f64(d.diff()),
+                    d.welch
+                        .map(|w| json_f64(w.p))
+                        .unwrap_or_else(|| "null".to_string()),
+                    d.significant(),
+                    d.verdict(),
+                    if i < n { "," } else { "" }
+                ));
+            }
+        }
+        s.push_str("  ]},\n");
     }
     s.push_str("  \"sections\": [\n");
     for (i, sec) in sections.iter().enumerate() {

@@ -9,12 +9,16 @@
 //! comparison), reporting cluster-wide latency percentiles, cold-start
 //! share, memory footprint and routing balance.
 //!
-//! Since the scenario API landed, this module is just a *grid* over
-//! [`Scenario`] cells: each `(router, backend)` point is one
-//! declarative spec run through [`Scenario::run_trial`] — no hand-wired
+//! Since the experiment-manager API landed, this module is just a
+//! rendering veneer over a [`SweepSpec`]: the whole grid is the
+//! declarative spec [`ClusterBenchConfig::sweep`] (a `router` axis
+//! crossed with the backend sweep), expanded into [`SweepCell`]s and
+//! run through [`Scenario::run_trial`] — no hand-wired
 //! `SimConfig`/`ClusterConfig` glue left.
 
-use faas::{BackendKind, RouterKind, Scenario, Topology};
+use faas::{
+    AxisValues, BackendKind, RouterKind, Scenario, SweepAxis, SweepCell, SweepSpec, Topology,
+};
 use mem_types::GIB;
 use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
 use workloads::WorkloadKind;
@@ -94,6 +98,23 @@ impl ClusterBenchConfig {
         s.seed = self.seed;
         s
     }
+
+    /// The whole grid as one declarative sweep spec: a `router` axis
+    /// over [`GRID_ROUTERS`], crossed with the three-backend sweep by
+    /// the grid expansion.
+    pub fn sweep(&self) -> SweepSpec {
+        let mut base = self.scenario(GRID_ROUTERS[0]);
+        base.backends = vec![
+            BackendKind::VirtioMem,
+            BackendKind::Squeezy,
+            BackendKind::SqueezySoft,
+        ];
+        let axes = vec![SweepAxis {
+            key: "router".to_string(),
+            values: AxisValues::List(GRID_ROUTERS.iter().map(|r| r.key().to_string()).collect()),
+        }];
+        SweepSpec::new(base, axes, Vec::new()).expect("cluster grid spec is valid")
+    }
 }
 
 /// The routers the grid sweeps (every registry policy except the
@@ -128,25 +149,27 @@ pub struct ClusterCell {
     pub hot_share: f64,
 }
 
-struct ClusterExp<'a> {
-    cfg: &'a ClusterBenchConfig,
+struct ClusterExp {
+    /// Expanded sweep cells, one per `(backend, router)` point.
+    cells: Vec<SweepCell>,
+    seed: u64,
     trials: u32,
 }
 
-impl Experiment for ClusterExp<'_> {
-    type Point = (RouterKind, BackendKind);
+impl Experiment for ClusterExp {
+    type Point = usize;
     type Output = ClusterCell;
 
-    fn points(&self) -> Vec<(RouterKind, BackendKind)> {
-        let backends = [
-            BackendKind::VirtioMem,
-            BackendKind::Squeezy,
-            BackendKind::SqueezySoft,
-        ];
-        GRID_ROUTERS
-            .iter()
-            .flat_map(|&r| backends.iter().map(move |&b| (r, b)))
-            .collect()
+    fn points(&self) -> Vec<usize> {
+        // Sweep expansion is backend-outermost; the table has always
+        // been router-major, so re-sort cell indices by router (the
+        // index tiebreak preserves the backend order within a router).
+        let mut idx: Vec<usize> = (0..self.cells.len()).collect();
+        idx.sort_by_key(|&i| {
+            let router = self.cells[i].scenario.router;
+            (GRID_ROUTERS.iter().position(|&r| r == router), i)
+        });
+        idx
     }
 
     fn trials(&self) -> u32 {
@@ -154,14 +177,16 @@ impl Experiment for ClusterExp<'_> {
     }
 
     fn seed(&self) -> u64 {
-        self.cfg.seed
+        self.seed
     }
 
-    fn run_trial(&self, &(router, backend): &Self::Point, ctx: &mut TrialCtx) -> ClusterCell {
-        let out = self.cfg.scenario(router).run_trial(backend, ctx.trial);
+    fn run_trial(&self, &i: &usize, ctx: &mut TrialCtx) -> ClusterCell {
+        let scenario = &self.cells[i].scenario;
+        let backend = scenario.backends[0];
+        let out = scenario.run_trial(backend, ctx.trial);
         let mut latency = out.merged_latency();
         ClusterCell {
-            router,
+            router: scenario.router,
             backend,
             offered: out.offered as f64,
             completed: out.completed as f64,
@@ -183,7 +208,8 @@ pub fn run(cfg: &ClusterBenchConfig) -> Vec<ClusterCell> {
 /// [`run`] with explicit engine options (trial means per cell).
 pub fn run_with(cfg: &ClusterBenchConfig, opts: &ExpOpts) -> Vec<ClusterCell> {
     let exp = ClusterExp {
-        cfg,
+        cells: cfg.sweep().cells(),
+        seed: cfg.seed,
         trials: opts.trials,
     };
     run_experiment(&exp, opts.effective_jobs())
@@ -292,6 +318,16 @@ mod tests {
         let serial = render(&run_with(&cfg, &ExpOpts::serial()));
         let parallel = render(&run_with(&cfg, &ExpOpts::serial().with_jobs(4)));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_is_a_declarative_sweep_spec() {
+        let spec = tiny().sweep();
+        assert_eq!(spec.cells().len(), 12, "4 routers x 3 backends");
+        // The spec survives the spec-file format round trip — the grid
+        // could be a committed .scn file.
+        let reparsed = faas::SweepSpec::parse(&spec.render()).expect("renders valid spec");
+        assert_eq!(reparsed, spec);
     }
 
     /// The CI-scale grid, in release mode only (slow-tests job).

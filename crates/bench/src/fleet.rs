@@ -14,12 +14,17 @@
 //! a fleet whose host set churns (boots, drains, crashes) is exactly
 //! the environment it was designed for.
 //!
-//! Since the scenario API landed, this module is just a *grid* over
-//! [`Scenario`] cells: each `(policy, backend)` point is one
-//! declarative spec run through [`Scenario::run_trial`] — no hand-wired
+//! Since the experiment-manager API landed, this module is just a
+//! rendering veneer over a [`SweepSpec`]: the whole grid is the
+//! declarative spec [`FleetBenchConfig::sweep`] (a `policy` axis
+//! crossed with the backend sweep), expanded into [`SweepCell`]s and
+//! run through [`Scenario::run_trial`] — no hand-wired
 //! `SimConfig`/`FleetConfig` glue left.
 
-use faas::{BackendKind, PolicyKind, RouterKind, Scenario, Topology};
+use faas::{
+    AxisValues, BackendKind, PolicyKind, RouterKind, Scenario, SweepAxis, SweepCell, SweepSpec,
+    Topology,
+};
 use mem_types::GIB;
 use sim_core::experiment::{mean_over, run_experiment, ExpOpts, Experiment, TrialCtx};
 use workloads::WorkloadKind;
@@ -132,6 +137,28 @@ impl FleetBenchConfig {
         s.seed = self.seed;
         s
     }
+
+    /// The whole grid as one declarative sweep spec: a `policy` axis
+    /// over every registry policy, crossed with the three-backend
+    /// sweep by the grid expansion.
+    pub fn sweep(&self) -> SweepSpec {
+        let mut base = self.scenario(PolicyKind::ALL[0]);
+        base.backends = vec![
+            BackendKind::VirtioMem,
+            BackendKind::Squeezy,
+            BackendKind::SqueezySoft,
+        ];
+        let axes = vec![SweepAxis {
+            key: "policy".to_string(),
+            values: AxisValues::List(
+                PolicyKind::ALL
+                    .iter()
+                    .map(|p| p.key().to_string())
+                    .collect(),
+            ),
+        }];
+        SweepSpec::new(base, axes, Vec::new()).expect("fleet grid spec is valid")
+    }
 }
 
 /// One cell of the policy × backend grid (trial means).
@@ -166,25 +193,28 @@ pub struct FleetCell {
     pub lat_quarters: [f64; 4],
 }
 
-struct FleetExp<'a> {
-    cfg: &'a FleetBenchConfig,
+struct FleetExp {
+    /// Expanded sweep cells, one per `(backend, policy)` point.
+    cells: Vec<SweepCell>,
+    duration_s: f64,
+    seed: u64,
     trials: u32,
 }
 
-impl Experiment for FleetExp<'_> {
-    type Point = (PolicyKind, BackendKind);
+impl Experiment for FleetExp {
+    type Point = usize;
     type Output = FleetCell;
 
-    fn points(&self) -> Vec<(PolicyKind, BackendKind)> {
-        let backends = [
-            BackendKind::VirtioMem,
-            BackendKind::Squeezy,
-            BackendKind::SqueezySoft,
-        ];
-        PolicyKind::ALL
-            .iter()
-            .flat_map(|&p| backends.iter().map(move |&b| (p, b)))
-            .collect()
+    fn points(&self) -> Vec<usize> {
+        // Sweep expansion is backend-outermost; the table has always
+        // been policy-major, so re-sort cell indices by policy (the
+        // index tiebreak preserves the backend order within a policy).
+        let mut idx: Vec<usize> = (0..self.cells.len()).collect();
+        idx.sort_by_key(|&i| {
+            let policy = self.cells[i].scenario.policy;
+            (PolicyKind::ALL.iter().position(|&p| p == policy), i)
+        });
+        idx
     }
 
     fn trials(&self) -> u32 {
@@ -192,16 +222,18 @@ impl Experiment for FleetExp<'_> {
     }
 
     fn seed(&self) -> u64 {
-        self.cfg.seed
+        self.seed
     }
 
-    fn run_trial(&self, &(policy, backend): &Self::Point, ctx: &mut TrialCtx) -> FleetCell {
-        let out = self.cfg.scenario(policy).run_trial(backend, ctx.trial);
+    fn run_trial(&self, &i: &usize, ctx: &mut TrialCtx) -> FleetCell {
+        let scenario = &self.cells[i].scenario;
+        let backend = scenario.backends[0];
+        let out = scenario.run_trial(backend, ctx.trial);
         let reservoir = out
             .latency_over_time
             .as_ref()
             .expect("fleet outcomes carry a reservoir");
-        let q = self.cfg.duration_s / 4.0;
+        let q = self.duration_s / 4.0;
         let lat_quarters = core::array::from_fn(|i| {
             reservoir
                 .mean_in(i as f64 * q, (i + 1) as f64 * q)
@@ -209,7 +241,7 @@ impl Experiment for FleetExp<'_> {
         });
         let stats = out.fleet.as_ref().expect("fleet outcomes carry stats");
         FleetCell {
-            policy,
+            policy: scenario.policy,
             backend,
             offered: out.offered as f64,
             completed: out.completed as f64,
@@ -236,7 +268,9 @@ pub fn run(cfg: &FleetBenchConfig) -> Vec<FleetCell> {
 /// [`run`] with explicit engine options (trial means per cell).
 pub fn run_with(cfg: &FleetBenchConfig, opts: &ExpOpts) -> Vec<FleetCell> {
     let exp = FleetExp {
-        cfg,
+        cells: cfg.sweep().cells(),
+        duration_s: cfg.duration_s,
+        seed: cfg.seed,
         trials: opts.trials,
     };
     run_experiment(&exp, opts.effective_jobs())
@@ -412,6 +446,16 @@ mod tests {
         let serial = render(&run_with(&cfg, &ExpOpts::serial()));
         let parallel = render(&run_with(&cfg, &ExpOpts::serial().with_jobs(4)));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_is_a_declarative_sweep_spec() {
+        let spec = tiny().sweep();
+        assert_eq!(spec.cells().len(), 12, "4 policies x 3 backends");
+        // The spec survives the spec-file format round trip — the grid
+        // could be a committed .scn file.
+        let reparsed = faas::SweepSpec::parse(&spec.render()).expect("renders valid spec");
+        assert_eq!(reparsed, spec);
     }
 
     /// The CI-scale grid, in release mode only (slow-tests job).

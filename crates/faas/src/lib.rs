@@ -60,5 +60,9 @@ pub use fleet::{
 pub use hybrid::{absorb_burst, BurstOutcome, ScaleStrategy};
 pub use metrics::{FuncMetrics, ReclaimTotals, SimResult};
 pub use microvm::{microvm_cold_start, n_to_one_cold_start, ColdStartBreakdown};
-pub use scenario::{FleetStats, Scenario, ScenarioOutcome, ScenarioResult, Topology, WorkloadSpec};
+pub use scenario::{
+    compare_results, render_verdicts, AxisValues, CompareReport, ExpectKind, ExpectVerdict,
+    Expectation, FleetStats, GridOutcome, MetricDiff, Scenario, ScenarioOutcome, ScenarioResult,
+    SweepAxis, SweepCell, SweepSpec, Topology, WorkloadSpec,
+};
 pub use sim::FaasSim;

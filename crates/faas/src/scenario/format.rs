@@ -88,7 +88,7 @@ fn parse_bytes(v: &str) -> Result<u64, String> {
 
 /// Parses a `u64` in decimal or `0x`-prefixed hex (seeds read nicer in
 /// hex).
-fn parse_u64(v: &str) -> Result<u64, String> {
+pub(crate) fn parse_u64(v: &str) -> Result<u64, String> {
     let parsed = match v.strip_prefix("0x") {
         Some(hex) => u64::from_str_radix(hex, 16),
         None => v.parse(),
@@ -103,8 +103,96 @@ fn parse_f64(v: &str) -> Result<f64, String> {
 
 /// Range-checked narrowing: a spec value that doesn't fit the field's
 /// type is an error, never a silent truncation.
-fn parse_int<T: TryFrom<u64>>(v: &str) -> Result<T, String> {
+pub(crate) fn parse_int<T: TryFrom<u64>>(v: &str) -> Result<T, String> {
     T::try_from(parse_u64(v)?).map_err(|_| format!("value {v} is out of range for this key"))
+}
+
+/// Scans spec text into trimmed `(lineno, key, value)` pairs, skipping
+/// blank and `#` lines. Malformed lines and duplicate keys go to
+/// `errs`; scanning continues so a bad spec reports every problem at
+/// once. Shared by [`Scenario::parse`] and the sweep-grid parser.
+pub(crate) fn scan_pairs<'a>(
+    text: &'a str,
+    errs: &mut Vec<String>,
+) -> Vec<(usize, &'a str, &'a str)> {
+    let mut pairs: Vec<(usize, &str, &str)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let Some((k, v)) = line.split_once('=') else {
+            errs.push(format!(
+                "line {lineno}: expected `key = value`, got {line:?}"
+            ));
+            continue;
+        };
+        let (k, v) = (k.trim(), v.trim());
+        if k.is_empty() || v.is_empty() {
+            errs.push(format!(
+                "line {lineno}: expected `key = value`, got {line:?}"
+            ));
+            continue;
+        }
+        if let Some(&(prev, _, _)) = pairs.iter().find(|&&(_, pk, _)| pk == k) {
+            errs.push(format!(
+                "line {lineno}: key `{k}` already set on line {prev}"
+            ));
+            continue;
+        }
+        pairs.push((lineno, k, v));
+    }
+    pairs
+}
+
+/// Builds a [`Scenario`] from scanned pairs — shape keys first, then
+/// [`Scenario::apply_key`] per pair — without validating. `None` when
+/// a shape key is missing or unparsable (those errors are in `errs`,
+/// alongside any per-key failures).
+pub(crate) fn build_scenario(
+    pairs: &[(usize, &str, &str)],
+    errs: &mut Vec<String>,
+) -> Option<Scenario> {
+    let find = |key: &str| pairs.iter().find(|&&(_, k, _)| k == key).copied();
+    let at = |lineno: usize, key: &str, e: String| format!("line {lineno}: {key}: {e}");
+
+    // The shape keys decide how the rest is interpreted, so their
+    // absence is fatal for this pass — but still reported together.
+    let name = find("name").map(|(_, _, v)| v);
+    let topology = find("topology").map(|(ln, _, v)| (ln, Topology::from_key(v)));
+    let workload = find("workload").map(|(ln, _, v)| (ln, WorkloadSpec::from_key(v)));
+    for (key, present) in [
+        ("name", name.is_some()),
+        ("topology", topology.is_some()),
+        ("workload", workload.is_some()),
+    ] {
+        if !present {
+            errs.push(format!("missing required key `{key}`"));
+        }
+    }
+    if let Some((ln, Err(e))) = &topology {
+        errs.push(at(*ln, "topology", e.clone()));
+    }
+    if let Some((ln, Err(e))) = &workload {
+        errs.push(at(*ln, "workload", e.clone()));
+    }
+    let (Some(name), Some((_, Ok(topology))), Some((_, Ok(workload)))) = (name, topology, workload)
+    else {
+        return None;
+    };
+
+    let mut s = Scenario::new(name, topology, workload);
+    for &(lineno, key, value) in pairs {
+        if let Err(e) = Scenario::apply_key(&mut s, key, value) {
+            errs.push(at(lineno, key, e));
+        }
+    }
+    // Canonical override order, so `parse ∘ render` is the
+    // identity regardless of line order in the source.
+    s.slo
+        .sort_by_key(|&(kind, _)| FunctionKind::ALL.iter().position(|&k| k == kind).unwrap());
+    Some(s)
 }
 
 impl Scenario {
@@ -160,85 +248,20 @@ impl Scenario {
     /// in one pass, not one error per run.
     pub fn parse(text: &str) -> Result<Scenario, String> {
         let mut errs: Vec<String> = Vec::new();
-        let mut pairs: Vec<(usize, &str, &str)> = Vec::new();
-        for (i, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+        let pairs = scan_pairs(text, &mut errs);
+        let s = build_scenario(&pairs, &mut errs);
+        match s {
+            Some(s) if errs.is_empty() => {
+                s.validate()?;
+                Ok(s)
             }
-            let lineno = i + 1;
-            let Some((k, v)) = line.split_once('=') else {
-                errs.push(format!(
-                    "line {lineno}: expected `key = value`, got {line:?}"
-                ));
-                continue;
-            };
-            let (k, v) = (k.trim(), v.trim());
-            if k.is_empty() || v.is_empty() {
-                errs.push(format!(
-                    "line {lineno}: expected `key = value`, got {line:?}"
-                ));
-                continue;
-            }
-            if let Some(&(prev, _, _)) = pairs.iter().find(|&&(_, pk, _)| pk == k) {
-                errs.push(format!(
-                    "line {lineno}: key `{k}` already set on line {prev}"
-                ));
-                continue;
-            }
-            pairs.push((lineno, k, v));
+            _ => Err(errs.join("\n")),
         }
-
-        let find = |key: &str| pairs.iter().find(|&&(_, k, _)| k == key).copied();
-        let at = |lineno: usize, key: &str, e: String| format!("line {lineno}: {key}: {e}");
-
-        // The shape keys decide how the rest is interpreted, so their
-        // absence is fatal for this pass — but still reported together.
-        let name = find("name").map(|(_, _, v)| v);
-        let topology = find("topology").map(|(ln, _, v)| (ln, Topology::from_key(v)));
-        let workload = find("workload").map(|(ln, _, v)| (ln, WorkloadSpec::from_key(v)));
-        for (key, present) in [
-            ("name", name.is_some()),
-            ("topology", topology.is_some()),
-            ("workload", workload.is_some()),
-        ] {
-            if !present {
-                errs.push(format!("missing required key `{key}`"));
-            }
-        }
-        if let Some((ln, Err(e))) = &topology {
-            errs.push(at(*ln, "topology", e.clone()));
-        }
-        if let Some((ln, Err(e))) = &workload {
-            errs.push(at(*ln, "workload", e.clone()));
-        }
-        let (Some(name), Some((_, Ok(topology))), Some((_, Ok(workload)))) =
-            (name, topology, workload)
-        else {
-            return Err(errs.join("\n"));
-        };
-
-        let mut s = Scenario::new(name, topology, workload);
-        for &(lineno, key, value) in &pairs {
-            let r = Self::apply_key(&mut s, key, value);
-            if let Err(e) = r {
-                errs.push(at(lineno, key, e));
-            }
-        }
-        if !errs.is_empty() {
-            return Err(errs.join("\n"));
-        }
-        // Canonical override order, so `parse ∘ render` is the
-        // identity regardless of line order in the source.
-        s.slo
-            .sort_by_key(|&(kind, _)| FunctionKind::ALL.iter().position(|&k| k == kind).unwrap());
-        s.validate()?;
-        Ok(s)
     }
 
     /// Applies one `key = value` pair to the scenario under
     /// construction (the shape keys were handled before `Scenario::new`).
-    fn apply_key(s: &mut Scenario, key: &str, value: &str) -> Result<(), String> {
+    pub(crate) fn apply_key(s: &mut Scenario, key: &str, value: &str) -> Result<(), String> {
         match key {
             "name" | "topology" | "workload" => {}
             "backend" => {
@@ -273,8 +296,24 @@ impl Scenario {
                 s.slo.push((kind, parse_f64(value)?));
             }
             unknown => {
+                // Suggest across the *whole* spec vocabulary — scalar
+                // keys, the sweep-only `hosts` axis, `expect.*` gates
+                // and the `slo.*` overrides — so a typo'd grid spec
+                // points at the key it meant.
+                let slo_keys: Vec<String> = FunctionKind::ALL
+                    .iter()
+                    .map(|k| format!("slo.{}", k.key()))
+                    .collect();
+                let mut candidates: Vec<&str> = KEYS.to_vec();
+                candidates.push("hosts");
+                candidates.extend(super::expect::ExpectKind::ALL.iter().map(|e| e.key()));
+                candidates.extend(slo_keys.iter().map(String::as_str));
+                let hint = sim_core::registry::nearest(unknown, &candidates)
+                    .map(|n| format!("; did you mean `{n}`?"))
+                    .unwrap_or_default();
                 return Err(format!(
-                    "unknown key `{unknown}` (valid keys: {}, slo.<function>)",
+                    "unknown key `{unknown}` (valid keys: {}, slo.<function>, \
+                     expect.* gates and the `hosts` sweep axis — see `repro scenarios`){hint}",
                     KEYS.join(", ")
                 ));
             }

@@ -23,10 +23,16 @@
 //!   `SimConfig`/`ClusterConfig`/`FleetConfig` — the
 //!   `scenario_equivalence` tests pin all three topologies.
 
+mod compare;
+mod expect;
 mod format;
 mod result;
+mod sweep;
 
+pub use compare::{compare_results, CompareReport, MetricDiff, ALPHA};
+pub use expect::{render_verdicts, ExpectKind, ExpectVerdict, Expectation};
 pub use result::{FleetStats, ScenarioOutcome, ScenarioResult};
+pub use sweep::{AxisValues, GridOutcome, SweepAxis, SweepCell, SweepSpec, MAX_CELLS};
 
 use sim_core::experiment::{run_experiment, ExpOpts, Experiment, TrialCtx};
 use sim_core::DetRng;
@@ -677,6 +683,23 @@ pub fn registry_help() -> String {
         .collect();
     out.push_str(&slo_keys.join(", "));
     out.push('\n');
+    out.push_str(
+        "\nsweep axes — any of these keys also accepts a list `a, b, c` or a range \
+         `lo..hi step N` / `lo..hi step Nx` (multiplicative), expanding the spec into a \
+         named grid of cells:\n  ",
+    );
+    out.push_str(&sweep::SWEEPABLE.join(", "));
+    out.push_str(
+        "\n  (`hosts` sweeps cluster size or fleet max_hosts; a `backend` list sweeps \
+         as before, crossed in as the outermost grid dimension)\n",
+    );
+    out.push_str(
+        "\nexpectation gates (evaluated per cell after the run; `repro run` exits \
+         nonzero when one fails):\n",
+    );
+    for e in expect::ExpectKind::ALL {
+        out.push_str(&format!("  {:<22} {}\n", e.key(), e.describe()));
+    }
     out
 }
 
@@ -792,8 +815,17 @@ mod tests {
             "slam-slo",
             "host_capacity",
             "slo.bert",
+            "hosts",
+            "lo..hi step N",
+            "expect.p99_ms_max",
+            "expect.slo_viol_max",
+            "expect.completion_min",
         ] {
             assert!(help.contains(needle), "missing {needle} in:\n{help}");
+        }
+        // Help is sourced from the registries, so every gate is listed.
+        for e in expect::ExpectKind::ALL {
+            assert!(help.contains(e.key()), "missing {} in help", e.key());
         }
     }
 }

@@ -1,9 +1,14 @@
 //! Property: `Scenario::parse(s.render()) == s` for every valid
 //! scenario — the spec format loses nothing, whatever combination of
 //! topology, backend sweep, workload, knobs and SLO overrides a
-//! scenario carries (floats at full bit precision included).
+//! scenario carries (floats at full bit precision included). The same
+//! property holds one level up for [`SweepSpec`]: list/range axes and
+//! `expect.*` gate lines round-trip exactly too.
 
-use faas::{BackendKind, PolicyKind, RouterKind, Scenario, Topology, WorkloadSpec};
+use faas::{
+    AxisValues, BackendKind, ExpectKind, Expectation, PolicyKind, RouterKind, Scenario, SweepAxis,
+    SweepSpec, Topology, WorkloadSpec,
+};
 use mem_types::{GIB, MIB};
 use proptest::prelude::*;
 use workloads::{FunctionKind, WorkloadKind};
@@ -133,6 +138,64 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     )
 }
 
+/// A valid sweep spec: the scalar scenario plus up to three axes
+/// (a float list, an integer list, a `hosts` range on multi-host
+/// topologies) and a masked subset of `expect.*` gates (fleet-only
+/// gates kept to fleet bases). Valid-by-construction: `SweepSpec::new`
+/// canonicalizes and re-checks everything the parser would.
+fn sweep_strategy() -> impl Strategy<Value = SweepSpec> {
+    (scenario_strategy(), (0u8..8, 0u8..128), (2u64..9, 1u64..5)).prop_map(
+        |(mut base, (axis_mask, gate_mask), (hosts_hi, ka_mult))| {
+            let mut axes = Vec::new();
+            if axis_mask & 1 != 0 {
+                // Float-valued list axis; tokens are distinct for any
+                // multiplier.
+                axes.push(SweepAxis {
+                    key: "keepalive_s".to_string(),
+                    values: AxisValues::List(vec![
+                        format!("{}", 5 * ka_mult),
+                        format!("{}", 7 * ka_mult),
+                        "2.5".to_string(),
+                    ]),
+                });
+            }
+            if axis_mask & 2 != 0 {
+                axes.push(SweepAxis {
+                    key: "trials".to_string(),
+                    values: AxisValues::List(vec!["1".to_string(), "2".to_string()]),
+                });
+            }
+            if axis_mask & 4 != 0 && base.topology != Topology::SingleVm {
+                if base.topology == Topology::Fleet {
+                    // Every swept max_hosts must stay ≥ min_hosts.
+                    base.min_hosts = 1;
+                }
+                axes.push(SweepAxis {
+                    key: "hosts".to_string(),
+                    values: AxisValues::Range {
+                        start: 1,
+                        end: hosts_hi,
+                        step: 2,
+                        mult: true,
+                    },
+                });
+            }
+            let mut expect = Vec::new();
+            for (i, k) in ExpectKind::ALL.into_iter().enumerate() {
+                if gate_mask & (1 << i) != 0
+                    && (!k.fleet_only() || base.topology == Topology::Fleet)
+                {
+                    expect.push(Expectation {
+                        kind: k,
+                        limit: 0.5 + 3.0 * i as f64,
+                    });
+                }
+            }
+            SweepSpec::new(base, axes, expect).expect("generator only makes valid sweeps")
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -152,5 +215,43 @@ proptest! {
         let text = s.render();
         let again = Scenario::parse(&text).expect("parses").render();
         prop_assert_eq!(again, text);
+    }
+
+    #[test]
+    fn sweep_parse_render_round_trips(s in sweep_strategy()) {
+        let text = s.render();
+        let back = SweepSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("render produced an unparsable sweep spec:\n{text}\n{e}"));
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sweep_render_is_canonical(s in sweep_strategy()) {
+        let text = s.render();
+        let again = SweepSpec::parse(&text).expect("parses").render();
+        prop_assert_eq!(again, text);
+    }
+
+    #[test]
+    fn sweep_cells_stay_within_bounds(s in sweep_strategy()) {
+        // Expansion invariants for every generated grid: the cell
+        // count is the axis-size product × backends, every cell keeps
+        // the base seed, and every cell validates.
+        let cells = s.cells();
+        let per_backend: usize = s
+            .axes
+            .iter()
+            .map(|a| a.values.expanded().len())
+            .product();
+        let expected = if s.axes.is_empty() {
+            1
+        } else {
+            per_backend * s.base.backends.len()
+        };
+        prop_assert_eq!(cells.len(), expected);
+        for c in &cells {
+            prop_assert_eq!(c.scenario.seed, s.base.seed);
+            prop_assert!(c.scenario.validate().is_ok());
+        }
     }
 }

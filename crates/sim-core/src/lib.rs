@@ -23,6 +23,9 @@
 //!   bench harness runs on: sweep grids, per-trial RNG stream derivation
 //!   and a parallel runner whose results are bit-identical to the serial
 //!   path.
+//! * [`stats`] — deterministic inference for experiment comparison:
+//!   Welch's t-test, Student-t confidence intervals, and a seeded
+//!   percentile bootstrap over [`DetRng`].
 //! * [`table`] — aligned plain-text tables for experiment reports.
 //!
 //! Each simulation is single-threaded and fully deterministic: the same
@@ -37,6 +40,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod registry;
 pub mod rng;
+pub mod stats;
 pub mod table;
 pub mod time;
 
@@ -47,5 +51,6 @@ pub use events::{BinaryHeapQueue, EventQueue};
 pub use experiment::{run_experiment, run_reduced, ExpOpts, Experiment, Summary, TrialCtx};
 pub use metrics::{fnv1a, BusyRecorder, Fnv1a, Histogram, Reservoir, TimeSeries};
 pub use rng::{nhpp_thinned_arrivals, poisson_arrivals_into, DetRng};
+pub use stats::{bootstrap_diff_ci, mean_ci, t_critical, welch, welch_ci, Welch};
 pub use table::TextTable;
 pub use time::{SimDuration, SimTime};
